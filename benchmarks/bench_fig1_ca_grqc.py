@@ -1,0 +1,34 @@
+"""EXP-F1 — Figure 1: CA-GrQC overlays, including "Expected" ensembles.
+
+Figure 1 of the paper additionally overlays the statistics averaged over
+an ensemble of realizations (paper: 100; here ``REPRO_REALIZATIONS``,
+default 20) to show that a single realization is representative.  The
+bench asserts exactly that: each single-realization series stays close to
+its own ensemble average.
+"""
+
+from __future__ import annotations
+
+from benchmarks._figure_common import run_figure_bench
+from repro.stats.comparison import log_series_distance
+
+
+def test_figure1_ca_grqc(benchmark, emit):
+    result = run_figure_bench(1, benchmark, emit)
+
+    # Single realizations are representative of their ensembles (the
+    # observation the paper draws from this figure).
+    for method in result.estimates:
+        single = result.statistics[method]
+        expected = result.statistics[f"Expected {method}"]
+        for statistic in ("hop_plot", "degree_distribution"):
+            gap = log_series_distance(
+                single[statistic].xs,
+                single[statistic].ys,
+                expected[statistic].xs,
+                expected[statistic].ys,
+            )
+            assert gap < 0.5, (
+                f"{method}/{statistic}: single realization strays "
+                f"{gap:.3f} dex from its ensemble mean"
+            )

@@ -1,0 +1,19 @@
+"""EXP-F2 — Figure 2: AS20 overlays (single realizations).
+
+The AS20 experiment is where the paper observes that the SKG model also
+captures the *clustering* profile, unlike on the co-authorship graphs, and
+where the fitted initiator is core-periphery (c ≈ 0).  The bench asserts
+the core-periphery shape of all three fits.
+"""
+
+from __future__ import annotations
+
+from benchmarks._figure_common import run_figure_bench
+
+
+def test_figure2_as20(benchmark, emit):
+    result = run_figure_bench(2, benchmark, emit)
+    for method, estimate in result.estimates.items():
+        theta = estimate.initiator
+        assert theta.a > 0.75, f"{method}: expected dense core, got a={theta.a:.3f}"
+        assert theta.c < 0.35, f"{method}: expected sparse periphery, got c={theta.c:.3f}"

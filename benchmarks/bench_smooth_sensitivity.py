@@ -1,0 +1,78 @@
+"""EXP-A3 — growth of the smooth sensitivity of Δ with graph size.
+
+The paper's §5 poses this as future work: "examine the smooth sensitivity
+of Δ as a function of the size of the graph G.  Preliminary experiments
+indicate that in the SKG model, SS_Δ might grow slowly."  This bench runs
+that experiment: sample SKGs of increasing order from the paper's
+synthetic initiator, compute SS_β(Δ) at the paper's operating point, and
+report the growth rate relative to the graph size and the triangle count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.sampling import sample_skg
+from repro.privacy.sensitivity import (
+    local_sensitivity_triangles,
+    smooth_sensitivity_triangles,
+    triangle_smooth_beta,
+)
+from repro.stats.counts import count_triangles
+from repro.utils.tables import TextTable
+
+THETA = Initiator(0.99, 0.45, 0.25)
+ORDERS = (7, 8, 9, 10, 11, 12, 13)
+BETA = triangle_smooth_beta(epsilon=0.1, delta=0.01)  # the paper's sub-budget
+
+
+def _measure():
+    rows = []
+    for k in ORDERS:
+        graph = sample_skg(THETA, k, seed=k)
+        rows.append(
+            {
+                "k": k,
+                "nodes": graph.n_nodes,
+                "edges": graph.n_edges,
+                "triangles": count_triangles(graph),
+                "local_sensitivity": local_sensitivity_triangles(graph),
+                "smooth_sensitivity": smooth_sensitivity_triangles(graph, BETA),
+            }
+        )
+    return rows
+
+
+def test_smooth_sensitivity_growth(benchmark, emit):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = TextTable(
+        ["k", "nodes", "edges", "triangles", "LS", "SS_beta", "SS/nodes"],
+        title=f"Smooth sensitivity of the triangle count vs SKG size "
+        f"(theta=(0.99, 0.45, 0.25), beta={BETA:.5f})",
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row["k"],
+                row["nodes"],
+                row["edges"],
+                row["triangles"],
+                row["local_sensitivity"],
+                row["smooth_sensitivity"],
+                row["smooth_sensitivity"] / row["nodes"],
+            ]
+        )
+    emit("smooth_sensitivity_growth", table.render())
+
+    # "SS grows slowly": sub-linear in the node count by a wide margin.
+    sizes = np.array([row["nodes"] for row in rows], dtype=float)
+    sensitivities = np.array([row["smooth_sensitivity"] for row in rows])
+    # Fit a power law SS ~ n^alpha; slow growth means alpha well below 1.
+    alpha = np.polyfit(np.log(sizes), np.log(np.maximum(sensitivities, 1e-9)), 1)[0]
+    assert alpha < 0.7, f"smooth sensitivity grows too fast: n^{alpha:.2f}"
+    # And the relative noise floor shrinks: SS/triangles decreasing overall.
+    ratios = sensitivities / np.maximum(
+        np.array([row["triangles"] for row in rows], dtype=float), 1.0
+    )
+    assert ratios[-1] < ratios[0]

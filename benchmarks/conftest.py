@@ -1,0 +1,39 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench regenerates one paper artifact (table / figure / ablation),
+prints it, and writes it under ``benchmarks/out/`` so EXPERIMENTS.md can
+reference stable files.  pytest-benchmark timings measure the dominant
+computation of each artifact.
+
+Scale knobs are environment variables (see
+:mod:`repro.evaluation.experiments`): notably ``REPRO_REALIZATIONS``
+(default 20; the paper uses 100) and ``REPRO_KRONFIT_ITERATIONS``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    """Directory collecting the regenerated artifacts."""
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(report_dir, capsys):
+    """Print an artifact and persist it to benchmarks/out/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n[written to {path}]")
+
+    return _emit

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Choosing ε: quantify the privacy/utility trade-off before releasing.
+
+The paper argues its estimator is accurate "for meaningful values of the
+privacy parameter ε".  A curator deciding on a budget can reproduce that
+argument on their own graph: sweep ε, fit the private estimator several
+times per value, and look at (a) how far the parameter lands from the
+non-private fit and (b) how well synthetic graphs match headline
+statistics.
+
+Run:  python examples/epsilon_utility_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.stats.comparison import relative_error
+from repro.utils.tables import TextTable
+
+EPSILONS = (0.05, 0.1, 0.2, 0.5, 1.0)
+SEEDS = range(5)
+DELTA = 0.01
+
+
+def main() -> None:
+    graph = repro.load_dataset("ca-grqc")
+    reference = repro.fit_kronmom(graph)
+    print(f"non-private KronMom reference: {reference.initiator}\n")
+
+    exact = repro.matching_statistics(graph)
+    table = TextTable(
+        [
+            "epsilon",
+            "median param distance",
+            "median edge rel.err",
+            "median wedge rel.err",
+        ],
+        title=f"Privacy/utility trade-off on ca-grqc (delta={DELTA}, "
+        f"{len(list(SEEDS))} runs per epsilon)",
+    )
+    for epsilon in EPSILONS:
+        param_distances, edge_errors, wedge_errors = [], [], []
+        for seed in SEEDS:
+            estimate = repro.PrivateKroneckerEstimator(
+                epsilon, DELTA, seed=seed
+            ).fit(graph)
+            param_distances.append(
+                estimate.initiator.distance(reference.initiator)
+            )
+            expected = estimate.expected_statistics()
+            edge_errors.append(relative_error(expected.edges, exact.edges))
+            wedge_errors.append(relative_error(expected.hairpins, exact.hairpins))
+        table.add_row(
+            [
+                epsilon,
+                float(np.median(param_distances)),
+                float(np.median(edge_errors)),
+                float(np.median(wedge_errors)),
+            ]
+        )
+    print(table.render())
+    print(
+        "\nReading: at the paper's epsilon = 0.2 the private parameter is "
+        "already close to the non-private fit; below epsilon ~ 0.1 the "
+        "degree-sequence noise starts to dominate the moment statistics."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Data-curator workflow: produce a complete private release package.
+
+Scenario: a curator holds a sensitive social graph and wants to publish
+(a) the private model parameter, (b) a synthetic edge list researchers can
+load with standard tools, and (c) an audit trail of the privacy budget.
+The script writes all three artifacts to ``release_out/``.
+
+Run:  python examples/private_release_workflow.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.graphs import write_edge_list
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "release_out"
+
+
+def main() -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    # The sensitive graph never leaves this process; only DP artifacts do.
+    sensitive = repro.load_dataset("as20")
+    print(f"sensitive input: {sensitive}")
+
+    estimator = repro.PrivateKroneckerEstimator(
+        epsilon=0.2,
+        delta=0.01,
+        degree_share=0.5,  # Algorithm 1's even split
+        seed=2024,
+    )
+    estimate = estimator.fit(sensitive)
+    print(estimate.describe())
+
+    # Artifact 1: the model parameter (the paper's published object).
+    theta = estimate.initiator
+    parameter_path = OUTPUT_DIR / "private_initiator.json"
+    parameter_path.write_text(
+        json.dumps(
+            {
+                "model": "stochastic-kronecker-2x2-symmetric",
+                "a": theta.a,
+                "b": theta.b,
+                "c": theta.c,
+                "k": estimate.k,
+                "epsilon": estimate.epsilon,
+                "delta": estimate.delta,
+            },
+            indent=2,
+        )
+    )
+    print(f"\nwrote {parameter_path}")
+
+    # Artifact 2: a synthetic graph in SNAP edge-list format.
+    synthetic = estimate.sample_graph(seed=7)
+    graph_path = OUTPUT_DIR / "synthetic_graph.txt"
+    write_edge_list(
+        synthetic,
+        graph_path,
+        header=(
+            "Synthetic graph sampled from a differentially private SKG "
+            f"estimate (epsilon={estimate.epsilon}, delta={estimate.delta})\n"
+            f"Nodes: {synthetic.n_nodes} Edges: {synthetic.n_edges}"
+        ),
+    )
+    print(f"wrote {graph_path}")
+
+    # Artifact 3: the privacy ledger, for the release's documentation.
+    ledger_path = OUTPUT_DIR / "privacy_ledger.txt"
+    ledger_path.write_text(estimate.release.accountant.describe() + "\n")
+    print(f"wrote {ledger_path}")
+
+    # Downstream researchers can re-load and study the synthetic graph:
+    reloaded, _ = repro.read_edge_list(graph_path)
+    print(f"\nround-trip check: reloaded {reloaded}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Knowledge-discovery scenario: epidemic analysis on private synthetic data.
+
+The paper's introduction motivates private synthetic graphs with exactly
+this use case: "access to a social network may help researchers track the
+spread of an epidemic ... in a community."  This example plays both
+roles:
+
+* the *curator* fits the private SKG estimator to the sensitive contact
+  graph and publishes only synthetic graphs;
+* the *researcher* runs an SIR (susceptible-infected-recovered) epidemic
+  simulation on the synthetic graphs and estimates outbreak properties —
+  final attack rate, peak infections, time to peak.
+
+The script then breaks the privacy barrier (which only the curator could
+do) to show how close the synthetic-data answers are to the ground truth.
+
+Run:  python examples/synthetic_epidemic_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.graphs.graph import Graph
+from repro.utils.rng import as_generator
+from repro.utils.tables import TextTable
+
+
+def simulate_sir(
+    graph: Graph,
+    *,
+    transmission: float = 0.12,
+    recovery: float = 0.25,
+    n_seeds: int = 5,
+    max_steps: int = 200,
+    seed=None,
+) -> dict[str, float]:
+    """Discrete-time SIR on a graph; returns outbreak summary statistics.
+
+    Each step, every infected node transmits to each susceptible neighbour
+    independently with probability ``transmission`` and recovers with
+    probability ``recovery``.
+    """
+    rng = as_generator(seed)
+    n = graph.n_nodes
+    adjacency = graph.adjacency
+    susceptible = np.ones(n, dtype=bool)
+    infected = np.zeros(n, dtype=bool)
+    recovered = np.zeros(n, dtype=bool)
+    # Seed in the giant component's high-degree region for comparability.
+    order = np.argsort(-graph.degrees)
+    patient_zero = order[:n_seeds]
+    infected[patient_zero] = True
+    susceptible[patient_zero] = False
+
+    peak_infected = int(infected.sum())
+    peak_time = 0
+    for step in range(1, max_steps + 1):
+        if not infected.any():
+            break
+        # Expected number of infected neighbours per susceptible node.
+        pressure = adjacency @ infected.astype(np.float64)
+        infect_probability = 1.0 - (1.0 - transmission) ** pressure
+        newly_infected = susceptible & (rng.random(n) < infect_probability)
+        newly_recovered = infected & (rng.random(n) < recovery)
+        infected |= newly_infected
+        infected &= ~newly_recovered
+        recovered |= newly_recovered
+        susceptible &= ~newly_infected
+        current = int(infected.sum())
+        if current > peak_infected:
+            peak_infected = current
+            peak_time = step
+    # Rates over the connected population: Kronecker estimators pad graphs
+    # to 2^k nodes with isolated nodes, which can never be infected and
+    # would otherwise deflate the synthetic rates.
+    population = max(int((graph.degrees > 0).sum()), 1)
+    attack_rate = float((recovered | infected).sum()) / population
+    return {
+        "attack_rate": attack_rate,
+        "peak_infected_fraction": peak_infected / population,
+        "time_to_peak": float(peak_time),
+    }
+
+
+def average_over_runs(graphs, label: str, n_runs: int = 5) -> dict[str, float]:
+    """Mean outbreak statistics over graphs x runs."""
+    rows = []
+    for index, graph in enumerate(graphs):
+        for run in range(n_runs):
+            rows.append(simulate_sir(graph, seed=1000 * index + run))
+    return {key: float(np.mean([row[key] for row in rows])) for key in rows[0]}
+
+
+def main() -> None:
+    # --- curator side -----------------------------------------------------
+    sensitive = repro.load_dataset("ca-grqc")
+    print(f"sensitive contact network: {sensitive}")
+    estimate = repro.PrivateKroneckerEstimator(
+        epsilon=0.2, delta=0.01, seed=11
+    ).fit(sensitive)
+    print(estimate.describe())
+    released = estimate.sample_graphs(4, seed=99)
+    print(f"\ncurator releases {len(released)} synthetic graphs "
+          f"({released[0].n_nodes} nodes each) and nothing else.\n")
+
+    # --- researcher side (sees only the synthetic graphs) ------------------
+    synthetic_answers = average_over_runs(released, "synthetic")
+
+    # --- evaluation (ground truth, for this demo only) ----------------------
+    true_answers = average_over_runs([sensitive], "original")
+
+    table = TextTable(
+        ["quantity", "true graph", "private synthetic", "rel. error"],
+        title="SIR outbreak analysis: sensitive graph vs private release",
+    )
+    for key in true_answers:
+        truth = true_answers[key]
+        synthetic = synthetic_answers[key]
+        table.add_row(
+            [key, truth, synthetic, abs(synthetic - truth) / max(abs(truth), 1e-9)]
+        )
+    print(table.render())
+    print(
+        "\nThe researcher never touched the sensitive graph, yet the "
+        "epidemic picture (how far it spreads, how sharp the peak is) is "
+        "preserved to within the model's fidelity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,279 @@
+"""Command-line interface: the curator workflow without writing Python.
+
+Subcommands::
+
+    python -m repro datasets
+        List the registered experiment datasets.
+
+    python -m repro summarize GRAPH
+        Print the structural summary of a dataset or edge-list file.
+
+    python -m repro fit GRAPH [--method private|kronmom|kronfit]
+                              [--epsilon E --delta D --seed S]
+        Estimate the SKG initiator and print it (with the privacy ledger
+        for the private method).
+
+    python -m repro release GRAPH --out DIR [--epsilon E --delta D
+                              --samples N --seed S]
+        Produce a complete private release package: parameter JSON,
+        N synthetic edge lists, and the privacy ledger.
+
+    python -m repro sample --a A --b B --c C -k K [--seed S --out FILE]
+        Sample a synthetic SKG from an explicit initiator.
+
+``GRAPH`` is either a registered dataset name (see ``datasets``) or a path
+to a SNAP-format edge list (optionally gzipped).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import DatasetError, ReproError
+from repro.graphs import Graph, load_dataset, read_edge_list, write_edge_list
+from repro.graphs.datasets import available_datasets, dataset_info
+from repro.core.estimator import PrivateKroneckerEstimator
+from repro.core.nonprivate import fit_kronfit, fit_kronmom
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.sampling import sample_skg
+from repro.stats.summary import summarize
+from repro.utils.tables import TextTable
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Differentially private stochastic Kronecker graph estimation",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list registered datasets")
+
+    summarize_parser = commands.add_parser(
+        "summarize", help="structural summary of a graph"
+    )
+    summarize_parser.add_argument("graph", help="dataset name or edge-list path")
+
+    fit_parser = commands.add_parser("fit", help="estimate the SKG initiator")
+    fit_parser.add_argument("graph", help="dataset name or edge-list path")
+    fit_parser.add_argument(
+        "--method",
+        choices=("private", "kronmom", "kronfit"),
+        default="private",
+    )
+    fit_parser.add_argument("--epsilon", type=float, default=0.2)
+    fit_parser.add_argument("--delta", type=float, default=0.01)
+    fit_parser.add_argument("--seed", type=int, default=None)
+    fit_parser.add_argument(
+        "--kronfit-iterations", type=int, default=30, dest="kronfit_iterations"
+    )
+
+    release_parser = commands.add_parser(
+        "release", help="produce a private release package"
+    )
+    release_parser.add_argument("graph", help="dataset name or edge-list path")
+    release_parser.add_argument("--out", required=True, help="output directory")
+    release_parser.add_argument("--epsilon", type=float, default=0.2)
+    release_parser.add_argument("--delta", type=float, default=0.01)
+    release_parser.add_argument("--samples", type=int, default=1)
+    release_parser.add_argument("--seed", type=int, default=None)
+
+    sample_parser = commands.add_parser(
+        "sample", help="sample a synthetic SKG from an initiator"
+    )
+    sample_parser.add_argument("--a", type=float, required=True)
+    sample_parser.add_argument("--b", type=float, required=True)
+    sample_parser.add_argument("--c", type=float, required=True)
+    sample_parser.add_argument("-k", type=int, required=True)
+    sample_parser.add_argument("--seed", type=int, default=None)
+    sample_parser.add_argument("--out", default=None, help="edge-list output path")
+
+    figure_parser = commands.add_parser(
+        "figure", help="regenerate one of the paper's figures (1-4)"
+    )
+    figure_parser.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    figure_parser.add_argument("--out", default=None, help="write the report here")
+    figure_parser.add_argument(
+        "--no-plots", action="store_true", help="omit the ASCII scatter overlays"
+    )
+
+    table_parser = commands.add_parser(
+        "table1", help="regenerate the paper's Table 1"
+    )
+    table_parser.add_argument("--out", default=None, help="write the table here")
+    table_parser.add_argument(
+        "--methods",
+        default="KronFit,KronMom,Private",
+        help="comma-separated subset of KronFit,KronMom,Private",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        handler = _HANDLERS[arguments.command]
+        return handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _resolve_graph(token: str) -> Graph:
+    """Interpret ``token`` as a dataset name first, then as a file path."""
+    try:
+        return load_dataset(token)
+    except DatasetError:
+        pass
+    path = Path(token)
+    if not path.exists():
+        raise DatasetError(
+            f"{token!r} is neither a registered dataset "
+            f"({', '.join(available_datasets())}) nor an existing file"
+        )
+    graph, _labels = read_edge_list(path)
+    return graph
+
+
+def _cmd_datasets(_arguments: argparse.Namespace) -> int:
+    table = TextTable(
+        ["name", "kind", "paper nodes", "paper edges", "description"],
+        title="Registered datasets",
+    )
+    for name in available_datasets():
+        spec = dataset_info(name)
+        description = spec.description.split(".")[0]
+        table.add_row(
+            [name, spec.kind, spec.paper_nodes, spec.paper_edges, description]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_summarize(arguments: argparse.Namespace) -> int:
+    graph = _resolve_graph(arguments.graph)
+    print(summarize(graph).render())
+    return 0
+
+
+def _cmd_fit(arguments: argparse.Namespace) -> int:
+    graph = _resolve_graph(arguments.graph)
+    if arguments.method == "private":
+        estimate = PrivateKroneckerEstimator(
+            arguments.epsilon, arguments.delta, seed=arguments.seed
+        ).fit(graph)
+        print(estimate.describe())
+        return 0
+    if arguments.method == "kronmom":
+        result = fit_kronmom(graph)
+    else:
+        result = fit_kronfit(
+            graph, n_iterations=arguments.kronfit_iterations, seed=arguments.seed
+        )
+    theta = result.initiator
+    print(f"{result.method} estimate: a={theta.a:.4f} b={theta.b:.4f} c={theta.c:.4f}")
+    print(f"kronecker order k={result.k} ({2 ** result.k} nodes)")
+    return 0
+
+
+def _cmd_release(arguments: argparse.Namespace) -> int:
+    graph = _resolve_graph(arguments.graph)
+    out_dir = Path(arguments.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    estimate = PrivateKroneckerEstimator(
+        arguments.epsilon, arguments.delta, seed=arguments.seed
+    ).fit(graph)
+
+    theta = estimate.initiator
+    (out_dir / "private_initiator.json").write_text(
+        json.dumps(
+            {
+                "model": "stochastic-kronecker-2x2-symmetric",
+                "a": theta.a,
+                "b": theta.b,
+                "c": theta.c,
+                "k": estimate.k,
+                "epsilon": estimate.epsilon,
+                "delta": estimate.delta,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    (out_dir / "privacy_ledger.txt").write_text(
+        estimate.release.accountant.describe() + "\n"
+    )
+    for index, synthetic in enumerate(
+        estimate.sample_graphs(arguments.samples, seed=arguments.seed)
+    ):
+        write_edge_list(synthetic, out_dir / f"synthetic_{index}.txt")
+    print(estimate.describe())
+    print(f"release package written to {out_dir}")
+    return 0
+
+
+def _cmd_sample(arguments: argparse.Namespace) -> int:
+    theta = Initiator(arguments.a, arguments.b, arguments.c)
+    graph = sample_skg(theta, arguments.k, seed=arguments.seed)
+    if arguments.out:
+        write_edge_list(graph, arguments.out)
+        print(f"wrote {graph} to {arguments.out}")
+    else:
+        print(summarize(graph).render())
+    return 0
+
+
+def _cmd_figure(arguments: argparse.Namespace) -> int:
+    # Imported lazily: the evaluation harness pulls in the whole stack.
+    from repro.evaluation.figures import run_figure
+    from repro.evaluation.reporting import render_figure, write_report
+
+    result = run_figure(arguments.number)
+    text = render_figure(result, plots=not arguments.no_plots)
+    if arguments.out:
+        write_report(text, arguments.out)
+        print(f"figure {arguments.number} written to {arguments.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_table1(arguments: argparse.Namespace) -> int:
+    from repro.evaluation.table1 import render_table1, run_table1
+
+    methods = tuple(m.strip() for m in arguments.methods.split(",") if m.strip())
+    rows = run_table1(methods=methods)
+    text = render_table1(rows)
+    if arguments.out:
+        Path(arguments.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(arguments.out).write_text(text + "\n", encoding="utf-8")
+        print(f"table 1 written to {arguments.out}")
+    else:
+        print(text)
+    return 0
+
+
+_HANDLERS = {
+    "datasets": _cmd_datasets,
+    "summarize": _cmd_summarize,
+    "fit": _cmd_fit,
+    "release": _cmd_release,
+    "sample": _cmd_sample,
+    "figure": _cmd_figure,
+    "table1": _cmd_table1,
+}
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's contribution: differentially private SKG estimation.
+
+* :mod:`repro.core.estimator` — :class:`PrivateKroneckerEstimator`,
+  Algorithm 1 of the paper,
+* :mod:`repro.core.release` — the publishable result object (estimate +
+  privacy ledger + sampling),
+* :mod:`repro.core.nonprivate` — uniform wrappers over the KronMom and
+  KronFit baselines so experiments can swap estimators,
+* :mod:`repro.core.synthesis` — synthetic-graph ensembles from an estimate.
+"""
+
+from repro.core.estimator import PrivateKroneckerEstimator
+from repro.core.release import PrivateEstimate
+from repro.core.nonprivate import (
+    EstimatorResult,
+    fit_kronmom,
+    fit_kronfit,
+    fit_private,
+)
+from repro.core.synthesis import sample_ensemble, ensemble_matching_statistics
+from repro.core.baseline import DPDegreeSequenceSynthesizer, DegreeSequenceModel
+
+__all__ = [
+    "PrivateKroneckerEstimator",
+    "PrivateEstimate",
+    "EstimatorResult",
+    "fit_kronmom",
+    "fit_kronfit",
+    "fit_private",
+    "sample_ensemble",
+    "ensemble_matching_statistics",
+    "DPDegreeSequenceSynthesizer",
+    "DegreeSequenceModel",
+]

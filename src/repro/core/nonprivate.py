@@ -1,0 +1,85 @@
+"""Uniform front door over the three estimators the paper compares.
+
+Table 1 and every figure put "KronFit", "KronMom" and "Private" side by
+side.  The underlying estimators return different result types with
+different diagnostics; :class:`EstimatorResult` is the common denominator
+the evaluation harness consumes, and the ``fit_*`` helpers produce it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.graphs.graph import Graph
+from repro.graphs.operations import next_power_of_two_exponent
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.kronfit import KronFitEstimator
+from repro.kronecker.kronmom import KronMomEstimator
+from repro.core.estimator import PrivateKroneckerEstimator
+from repro.utils.rng import SeedLike
+
+__all__ = ["EstimatorResult", "fit_kronmom", "fit_kronfit", "fit_private"]
+
+
+@dataclass(frozen=True)
+class EstimatorResult:
+    """What the experiment harness needs from any estimator.
+
+    Attributes
+    ----------
+    method:
+        Display name ("KronFit" / "KronMom" / "Private").
+    initiator:
+        The fitted initiator (canonical).
+    k:
+        Kronecker order for synthetic sampling.
+    details:
+        The estimator-specific result object, for diagnostics.
+    """
+
+    method: str
+    initiator: Initiator
+    k: int
+    details: Any
+
+    def sample_graph(self, seed: SeedLike = None) -> Graph:
+        """One synthetic graph from the fitted model."""
+        return self.initiator.sample(self.k, seed=seed)
+
+
+def fit_kronmom(graph: Graph, **kwargs) -> EstimatorResult:
+    """Non-private Gleich–Owen moment matching on exact statistics."""
+    result = KronMomEstimator(**kwargs).fit(graph)
+    return EstimatorResult(
+        method="KronMom", initiator=result.initiator, k=result.k, details=result
+    )
+
+
+def fit_kronfit(graph: Graph, **kwargs) -> EstimatorResult:
+    """Leskovec–Faloutsos approximate MLE."""
+    result = KronFitEstimator(**kwargs).fit(graph)
+    return EstimatorResult(
+        method="KronFit", initiator=result.initiator, k=result.k, details=result
+    )
+
+
+def fit_private(
+    graph: Graph,
+    epsilon: float = 0.2,
+    delta: float = 0.01,
+    **kwargs,
+) -> EstimatorResult:
+    """The paper's Algorithm 1 (differentially private moment matching)."""
+    estimate = PrivateKroneckerEstimator(epsilon, delta, **kwargs).fit(graph)
+    return EstimatorResult(
+        method="Private",
+        initiator=estimate.initiator,
+        k=estimate.k,
+        details=estimate,
+    )
+
+
+def kronecker_order(graph: Graph) -> int:
+    """The order k every estimator uses for ``graph`` (pad-to-2^k rule)."""
+    return next_power_of_two_exponent(graph.n_nodes)

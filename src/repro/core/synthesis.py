@@ -1,0 +1,42 @@
+"""Synthetic-graph ensembles from a fitted initiator.
+
+The paper's figures average statistics over 100 synthetic realizations
+("Expected kron-fit", "Expected private", ...).  These helpers produce
+reproducible ensembles and their aggregate matching statistics; the
+figure-series averaging itself lives in :mod:`repro.evaluation.figures`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.kronecker.initiator import as_initiator
+from repro.kronecker.sampling import sample_skg
+from repro.stats.counts import MatchingStatistics, matching_statistics
+from repro.utils.rng import SeedLike, spawn_generators
+from repro.utils.validation import check_integer
+
+__all__ = ["sample_ensemble", "ensemble_matching_statistics"]
+
+
+def sample_ensemble(initiator, k: int, count: int, seed: SeedLike = None) -> list[Graph]:
+    """``count`` independent SKG realizations of Θ^{⊗k} (seed-reproducible)."""
+    theta = as_initiator(initiator)
+    k = check_integer(k, "k", minimum=1)
+    count = check_integer(count, "count", minimum=0)
+    return [sample_skg(theta, k, seed=rng) for rng in spawn_generators(seed, count)]
+
+
+def ensemble_matching_statistics(graphs: list[Graph]) -> MatchingStatistics:
+    """Mean {E, H, T, Δ} over an ensemble (Monte-Carlo expected statistics)."""
+    if not graphs:
+        raise ValueError("ensemble must contain at least one graph")
+    rows = np.array([tuple(matching_statistics(g)) for g in graphs], dtype=np.float64)
+    means = rows.mean(axis=0)
+    return MatchingStatistics(
+        edges=float(means[0]),
+        hairpins=float(means[1]),
+        tripins=float(means[2]),
+        triangles=float(means[3]),
+    )

@@ -1,0 +1,44 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+* :mod:`repro.evaluation.table1` — Table 1 (parameter comparison across
+  KronFit / KronMom / Private on the four experiment graphs),
+* :mod:`repro.evaluation.figures` — the five statistics series of
+  Figures 1-4 (hop plot, degree distribution, scree plot, network values,
+  clustering by degree) for original and synthetic graphs,
+* :mod:`repro.evaluation.reporting` — text rendering of tables and series,
+* :mod:`repro.evaluation.experiments` — configuration shared by the
+  benchmark entry points (seeds, realization counts, output paths).
+"""
+
+from repro.evaluation.table1 import Table1Row, run_table1, render_table1
+from repro.evaluation.figures import (
+    FigureSeries,
+    GraphStatistics,
+    compute_graph_statistics,
+    average_statistics,
+    FigureResult,
+    run_figure,
+)
+from repro.evaluation.reporting import render_series_block, write_report
+from repro.evaluation.experiments import (
+    ExperimentConfig,
+    default_config,
+    FIGURE_DATASETS,
+)
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "render_table1",
+    "FigureSeries",
+    "GraphStatistics",
+    "compute_graph_statistics",
+    "average_statistics",
+    "FigureResult",
+    "run_figure",
+    "render_series_block",
+    "write_report",
+    "ExperimentConfig",
+    "default_config",
+    "FIGURE_DATASETS",
+]

@@ -1,0 +1,63 @@
+"""Shared experiment configuration.
+
+Centralises the knobs every bench uses, honouring environment variables so
+a fast default run and a paper-faithful run use the same code paths:
+
+* ``REPRO_REALIZATIONS`` — ensemble size for "Expected" series (paper: 100;
+  default here: 20 to keep the bench suite responsive),
+* ``REPRO_HOP_SOURCES`` — BFS sources for sampled hop plots (0 = exact),
+* ``REPRO_KRONFIT_ITERATIONS`` — gradient iterations for the KronFit
+  baseline.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ExperimentConfig", "default_config", "FIGURE_DATASETS"]
+
+# Dataset per paper figure, in figure order.
+FIGURE_DATASETS = {
+    1: "ca-grqc",
+    2: "as20",
+    3: "ca-hepth",
+    4: "synthetic-kronecker",
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the benches (see module docstring for env overrides)."""
+
+    epsilon: float = 0.2
+    delta: float = 0.01
+    realizations: int = 20
+    hop_sources: int = 512
+    svd_rank: int = 50
+    kronfit_iterations: int = 30
+    seed: int = 20120330  # the PAIS'12 workshop date
+
+
+def _env_int(name: str, fallback: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"environment variable {name} must be an integer, got {raw!r}")
+
+
+def default_config() -> ExperimentConfig:
+    """The configuration benches run with, after environment overrides."""
+    base = ExperimentConfig()
+    return ExperimentConfig(
+        epsilon=float(os.environ.get("REPRO_EPSILON", base.epsilon)),
+        delta=float(os.environ.get("REPRO_DELTA", base.delta)),
+        realizations=_env_int("REPRO_REALIZATIONS", base.realizations),
+        hop_sources=_env_int("REPRO_HOP_SOURCES", base.hop_sources),
+        svd_rank=_env_int("REPRO_SVD_RANK", base.svd_rank),
+        kronfit_iterations=_env_int("REPRO_KRONFIT_ITERATIONS", base.kronfit_iterations),
+        seed=_env_int("REPRO_SEED", base.seed),
+    )

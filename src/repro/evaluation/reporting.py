@@ -1,0 +1,107 @@
+"""Text rendering for figure series and experiment reports.
+
+The paper's figures are gnuplot log-log overlays; with no plotting stack
+the benches emit the same data as aligned text: each curve is printed as
+up to ``max_points`` log-spaced (x, y) pairs, which is enough to read off
+the shape, the crossovers, and who tracks whom — the claims EXPERIMENTS.md
+checks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.evaluation.figures import STATISTIC_NAMES, FigureResult
+from repro.utils.asciiplot import ascii_scatter
+from repro.utils.tables import format_float
+
+__all__ = ["render_series_block", "render_figure", "write_report"]
+
+# Hop plots have a linear hop axis in the paper; everything else is log-log.
+_LINEAR_X = {"hop_plot"}
+
+_TITLE = {
+    "hop_plot": "(a) Hop plot — reachable ordered pairs vs hops",
+    "degree_distribution": "(b) Degree distribution — node count vs degree",
+    "scree": "(c) Scree plot — singular value vs rank",
+    "network_value": "(d) Network value — principal singular vector component vs rank",
+    "clustering": "(e) Average clustering coefficient vs node degree",
+}
+
+
+def _sample_indices(size: int, max_points: int) -> np.ndarray:
+    if size <= max_points:
+        return np.arange(size)
+    # Log-spaced indices mirror what the paper's log axes emphasise.
+    raw = np.unique(
+        np.round(np.logspace(0, np.log10(size), max_points)).astype(int) - 1
+    )
+    return raw[(raw >= 0) & (raw < size)]
+
+
+def render_series_block(
+    result: FigureResult, statistic: str, *, max_points: int = 12
+) -> str:
+    """Render every curve of one statistic as aligned text rows."""
+    lines = [_TITLE.get(statistic, statistic)]
+    for label, stats in result.statistics.items():
+        curve = stats[statistic]
+        if curve.xs.size == 0:
+            lines.append(f"  {label:<20s} (empty)")
+            continue
+        indices = _sample_indices(curve.xs.size, max_points)
+        pairs = " ".join(
+            f"({format_float(float(curve.xs[i]), 3)}, {format_float(float(curve.ys[i]), 3)})"
+            for i in indices
+        )
+        lines.append(f"  {label:<20s} {pairs}")
+    return "\n".join(lines)
+
+
+def render_figure(
+    result: FigureResult, *, max_points: int = 12, plots: bool = True
+) -> str:
+    """Render a complete figure: header, parameters, series, ASCII plots.
+
+    ``plots=False`` drops the scatter overlays and keeps only the numeric
+    series rows (useful for compact logs).
+    """
+    lines = [
+        f"Figure {result.figure_number} — dataset {result.dataset}",
+        "fitted initiators:",
+    ]
+    for method, estimate in result.estimates.items():
+        theta = estimate.initiator
+        lines.append(
+            f"  {method:<10s} a={theta.a:.4f} b={theta.b:.4f} c={theta.c:.4f}"
+        )
+    for statistic in STATISTIC_NAMES:
+        lines.append("")
+        lines.append(render_series_block(result, statistic, max_points=max_points))
+        if plots:
+            # Single realizations only: the Expected curves sit on top of
+            # them and would render the overlay unreadable.
+            series = {
+                label: (stats[statistic].xs, stats[statistic].ys)
+                for label, stats in result.statistics.items()
+                if not label.startswith("Expected")
+            }
+            lines.append("")
+            lines.append(
+                ascii_scatter(
+                    series,
+                    log_x=statistic not in _LINEAR_X,
+                    log_y=True,
+                )
+            )
+    return "\n".join(lines)
+
+
+def write_report(text: str, path: str | Path) -> Path:
+    """Write a report file, creating parent directories; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,295 @@
+"""The :class:`Graph` type: an immutable, undirected, simple graph.
+
+Design notes
+------------
+* Nodes are the integers ``0 .. n_nodes - 1``.  Callers with arbitrary node
+  labels relabel at the IO boundary (:func:`repro.graphs.io.parse_edge_list`
+  does this automatically).
+* The edge set is stored once, canonically, as two parallel int64 arrays
+  ``(u, v)`` with ``u < v`` sorted lexicographically.  The CSR adjacency
+  matrix is derived lazily and cached; so are degrees.
+* Instances are value objects: hashable by content, comparable, and safe to
+  share between estimators — no method mutates a constructed graph.
+
+The class deliberately supports exactly the operations the paper's pipeline
+needs (degrees, neighbour queries, sparse adjacency for counting and
+spectra) instead of aspiring to be a general graph library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphFormatError, ValidationError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected simple graph on nodes ``0 .. n_nodes - 1``.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.  Isolated nodes are allowed (and matter: the
+        Kronecker estimators pad graphs to a power-of-two node count).
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are rejected; duplicate
+        and mirrored pairs collapse to a single undirected edge.
+
+    Examples
+    --------
+    >>> g = Graph(4, [(0, 1), (1, 0), (1, 2)])
+    >>> g.n_edges
+    2
+    >>> g.neighbors(1).tolist()
+    [0, 2]
+    """
+
+    __slots__ = ("_n_nodes", "_edge_u", "_edge_v", "_adjacency", "_degrees", "_hash")
+
+    def __init__(self, n_nodes: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if isinstance(n_nodes, bool) or not isinstance(n_nodes, (int, np.integer)):
+            raise ValidationError(f"n_nodes must be an integer, got {n_nodes!r}")
+        if n_nodes < 0:
+            raise ValidationError(f"n_nodes must be non-negative, got {n_nodes}")
+        self._n_nodes = int(n_nodes)
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edge_array.size == 0:
+            u = np.empty(0, dtype=np.int64)
+            v = np.empty(0, dtype=np.int64)
+        else:
+            if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+                raise GraphFormatError(
+                    f"edges must be pairs, got array of shape {edge_array.shape}"
+                )
+            if not np.issubdtype(edge_array.dtype, np.integer):
+                converted = edge_array.astype(np.int64)
+                if not np.array_equal(converted, edge_array):
+                    raise GraphFormatError("edge endpoints must be integers")
+                edge_array = converted
+            u, v = _canonicalize_edges(edge_array.astype(np.int64), self._n_nodes)
+        self._edge_u = u
+        self._edge_v = v
+        self._edge_u.setflags(write=False)
+        self._edge_v.setflags(write=False)
+        self._adjacency: sp.csr_array | None = None
+        self._degrees: np.ndarray | None = None
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Alternate constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edge_arrays(cls, n_nodes: int, u: np.ndarray, v: np.ndarray) -> "Graph":
+        """Build from two parallel endpoint arrays (validated and canonicalized)."""
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape or u.ndim != 1:
+            raise GraphFormatError("endpoint arrays must be 1-D and the same length")
+        return cls(n_nodes, np.column_stack([u, v]) if u.size else np.empty((0, 2), np.int64))
+
+    @classmethod
+    def from_dense(cls, matrix: np.ndarray) -> "Graph":
+        """Build from a dense 0/1 adjacency matrix (symmetrized, loops dropped)."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise GraphFormatError(f"adjacency must be square, got shape {matrix.shape}")
+        upper = np.triu(matrix != 0, k=1) | np.triu((matrix != 0).T, k=1)
+        rows, cols = np.nonzero(upper)
+        return cls.from_edge_arrays(matrix.shape[0], rows, cols)
+
+    @classmethod
+    def from_sparse(cls, matrix: sp.spmatrix | sp.sparray) -> "Graph":
+        """Build from any scipy sparse adjacency (symmetrized, loops dropped)."""
+        coo = sp.coo_array(matrix)
+        if coo.shape[0] != coo.shape[1]:
+            raise GraphFormatError(f"adjacency must be square, got shape {coo.shape}")
+        mask = coo.data != 0
+        return cls.from_edge_arrays(coo.shape[0], coo.row[mask], coo.col[mask])
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "Graph":
+        """Build from a ``networkx.Graph`` (nodes relabelled to 0..n-1)."""
+        nodes = list(nx_graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        edges = [(index[a], index[b]) for a, b in nx_graph.edges() if a != b]
+        return cls(len(nodes), edges)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes (isolated nodes included)."""
+        return self._n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return int(self._edge_u.size)
+
+    @property
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The canonical endpoint arrays ``(u, v)`` with ``u < v`` (read-only)."""
+        return self._edge_u, self._edge_v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` tuples with ``u < v``."""
+        for a, b in zip(self._edge_u, self._edge_v):
+            yield int(a), int(b)
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every node, as a read-only int64 array of length n_nodes."""
+        if self._degrees is None:
+            counts = np.bincount(self._edge_u, minlength=self._n_nodes)
+            counts += np.bincount(self._edge_v, minlength=self._n_nodes)
+            self._degrees = counts.astype(np.int64)
+            self._degrees.setflags(write=False)
+        return self._degrees
+
+    def degree(self, node: int) -> int:
+        """Degree of a single node."""
+        self._check_node(node)
+        return int(self.degrees[node])
+
+    @property
+    def adjacency(self) -> sp.csr_array:
+        """Symmetric CSR adjacency matrix with int8 entries (cached)."""
+        if self._adjacency is None:
+            n = self._n_nodes
+            rows = np.concatenate([self._edge_u, self._edge_v])
+            cols = np.concatenate([self._edge_v, self._edge_u])
+            data = np.ones(rows.size, dtype=np.int8)
+            self._adjacency = sp.csr_array((data, (rows, cols)), shape=(n, n))
+        return self._adjacency
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted array of neighbours of ``node``."""
+        self._check_node(node)
+        adjacency = self.adjacency
+        return adjacency.indices[adjacency.indptr[node] : adjacency.indptr[node + 1]].copy()
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """Whether the undirected edge ``{a, b}`` is present."""
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            return False
+        if a > b:
+            a, b = b, a
+        lo = np.searchsorted(self._edge_u, a, side="left")
+        hi = np.searchsorted(self._edge_u, a, side="right")
+        return bool(np.any(self._edge_v[lo:hi] == b))
+
+    @property
+    def density(self) -> float:
+        """Fraction of possible edges present; 0 for graphs with < 2 nodes."""
+        n = self._n_nodes
+        if n < 2:
+            return 0.0
+        return self.n_edges / (n * (n - 1) / 2)
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """The edge set as python tuples — convenient for small-graph tests."""
+        return {(int(a), int(b)) for a, b in zip(self._edge_u, self._edge_v)}
+
+    def to_dense(self) -> np.ndarray:
+        """Dense int8 adjacency matrix (only sensible for small graphs)."""
+        return self.adjacency.toarray()
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` (imports networkx lazily)."""
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(self._n_nodes))
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    def with_edge_flipped(self, a: int, b: int) -> "Graph":
+        """Return a copy with edge ``{a, b}`` toggled (the DP edge neighbour).
+
+        This is exactly the "edge neighbourhood" of Definition 4.1 in the
+        paper: graphs at symmetric-difference distance one.
+        """
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            raise ValidationError("cannot flip a self-loop in a simple graph")
+        if a > b:
+            a, b = b, a
+        current = self.edge_set()
+        if (a, b) in current:
+            current.remove((a, b))
+        else:
+            current.add((a, b))
+        return Graph(self._n_nodes, sorted(current))
+
+    # ------------------------------------------------------------------
+    # Value-object protocol
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n_nodes == other._n_nodes
+            and self._edge_u.size == other._edge_u.size
+            and bool(np.array_equal(self._edge_u, other._edge_u))
+            and bool(np.array_equal(self._edge_v, other._edge_v))
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._n_nodes, self._edge_u.tobytes(), self._edge_v.tobytes())
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Graph(n_nodes={self._n_nodes}, n_edges={self.n_edges})"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_node(self, node: int) -> None:
+        if isinstance(node, bool) or not isinstance(node, (int, np.integer)):
+            raise ValidationError(f"node must be an integer, got {node!r}")
+        if not 0 <= node < self._n_nodes:
+            raise ValidationError(
+                f"node {node} out of range for graph with {self._n_nodes} nodes"
+            )
+
+
+def _canonicalize_edges(edges: np.ndarray, n_nodes: int) -> tuple[np.ndarray, np.ndarray]:
+    """Sort endpoints within pairs, drop loops, dedupe, lexicographically sort."""
+    if edges.size and (edges.min() < 0 or edges.max() >= n_nodes):
+        raise GraphFormatError(
+            f"edge endpoint out of range [0, {n_nodes}): "
+            f"min={edges.min()}, max={edges.max()}"
+        )
+    u = np.minimum(edges[:, 0], edges[:, 1])
+    v = np.maximum(edges[:, 0], edges[:, 1])
+    keep = u != v  # drop self-loops
+    u, v = u[keep], v[keep]
+    if u.size == 0:
+        return u.astype(np.int64), v.astype(np.int64)
+    # Dedupe and sort in one shot via the scalar key u * n + v; ascending key
+    # order equals lexicographic (u, v) order.  The int64 key overflows only
+    # beyond ~3e9 nodes, far past anything this library targets.
+    key = np.unique(u * np.int64(n_nodes) + v)
+    u = key // np.int64(n_nodes)
+    v = key % np.int64(n_nodes)
+    return np.ascontiguousarray(u), np.ascontiguousarray(v)

@@ -1,0 +1,171 @@
+"""KronFit: the Leskovec–Faloutsos approximate MLE baseline.
+
+This is the "KronFit" column of the paper's Table 1: gradient ascent on
+the SKG log-likelihood, with the intractable sum over node correspondences
+σ replaced by Metropolis sampling (see :mod:`repro.kronecker.likelihood`).
+
+The public interface mirrors the other estimators: construct with
+hyper-parameters, call :meth:`fit` with a graph, receive a
+:class:`KronFitResult` carrying the fitted :class:`Initiator` and
+convergence diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EstimationError
+from repro.graphs.graph import Graph
+from repro.graphs.operations import pad_to_power_of_two
+from repro.kronecker.initiator import Initiator, as_initiator
+from repro.kronecker.likelihood import PermutationSampler, ProfileLikelihood
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = ["KronFitEstimator", "KronFitResult"]
+
+_logger = get_logger(__name__)
+
+_PARAM_LOW = 0.001
+_PARAM_HIGH = 0.999
+
+
+@dataclass(frozen=True)
+class KronFitResult:
+    """Outcome of a KronFit run.
+
+    Attributes
+    ----------
+    initiator:
+        The fitted initiator, canonicalized to a >= c.
+    k:
+        Kronecker order used (graph padded to 2^k nodes).
+    log_likelihoods:
+        Approximate log-likelihood after each gradient iteration.
+    acceptance_rate:
+        Fraction of accepted Metropolis proposals over the whole run.
+    trajectory:
+        Parameter triple after each gradient iteration.
+    """
+
+    initiator: Initiator
+    k: int
+    log_likelihoods: tuple[float, ...]
+    acceptance_rate: float
+    trajectory: tuple[tuple[float, float, float], ...] = field(repr=False)
+
+
+class KronFitEstimator:
+    """Approximate-MLE estimation of a 2×2 symmetric SKG initiator.
+
+    Parameters
+    ----------
+    n_iterations:
+        Gradient-ascent iterations.
+    warmup_swaps:
+        Metropolis proposals before the first permutation sample of each
+        iteration (re-mixing after each Θ update).
+    n_permutation_samples:
+        Permutations averaged per gradient estimate.
+    sample_spacing:
+        Proposals between consecutive permutation samples.
+    learning_rate:
+        Initial step size for the sup-norm-normalised gradient step; decays
+        harmonically.  Normalising by the gradient's sup-norm makes the
+        step size meaningful across graph scales (raw SKG gradients grow
+        with |E|·k).
+    initial:
+        Starting initiator (defaults to the paper's generic seed point).
+
+    Examples
+    --------
+    >>> from repro.kronecker import Initiator
+    >>> graph = Initiator(0.9, 0.5, 0.2).sample(8, seed=1)
+    >>> fit = KronFitEstimator(n_iterations=10, seed=0).fit(graph)
+    >>> 0 <= fit.initiator.c <= fit.initiator.a <= 1
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        n_iterations: int = 40,
+        warmup_swaps: int = 2000,
+        n_permutation_samples: int = 4,
+        sample_spacing: int = 200,
+        learning_rate: float = 0.08,
+        initial: Initiator | tuple[float, float, float] = (0.9, 0.6, 0.2),
+        seed: SeedLike = None,
+    ) -> None:
+        self.n_iterations = check_integer(n_iterations, "n_iterations", minimum=1)
+        self.warmup_swaps = check_integer(warmup_swaps, "warmup_swaps", minimum=0)
+        self.n_permutation_samples = check_integer(
+            n_permutation_samples, "n_permutation_samples", minimum=1
+        )
+        self.sample_spacing = check_integer(sample_spacing, "sample_spacing", minimum=1)
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        self.initial = as_initiator(initial)
+        self.seed = seed
+
+    def fit(self, graph: Graph) -> KronFitResult:
+        """Fit the initiator to ``graph`` (padded to 2^k nodes internally)."""
+        if graph.n_edges == 0:
+            raise EstimationError("cannot fit KronFit to a graph with no edges")
+        rng = as_generator(self.seed)
+        padded, k = pad_to_power_of_two(graph)
+        theta = _clip(self.initial)
+        sampler = PermutationSampler(padded, k, theta)
+        log_likelihoods: list[float] = []
+        trajectory: list[tuple[float, float, float]] = []
+        for iteration in range(self.n_iterations):
+            sampler.set_theta(theta)
+            sampler.run(self.warmup_swaps, rng)
+            gradient = np.zeros(3)
+            value = 0.0
+            for _ in range(self.n_permutation_samples):
+                sampler.run(self.sample_spacing, rng)
+                likelihood = ProfileLikelihood(sampler.histogram(), k)
+                gradient += likelihood.gradient(theta)
+                value += likelihood.log_likelihood(theta)
+            gradient /= self.n_permutation_samples
+            value /= self.n_permutation_samples
+            log_likelihoods.append(value)
+            step_scale = self.learning_rate / (1.0 + iteration / 10.0)
+            sup_norm = float(np.abs(gradient).max())
+            if sup_norm > 0:
+                step = step_scale * gradient / sup_norm
+                theta = _clip(
+                    Initiator(
+                        float(np.clip(theta.a + step[0], _PARAM_LOW, _PARAM_HIGH)),
+                        float(np.clip(theta.b + step[1], _PARAM_LOW, _PARAM_HIGH)),
+                        float(np.clip(theta.c + step[2], _PARAM_LOW, _PARAM_HIGH)),
+                    )
+                )
+            trajectory.append((theta.a, theta.b, theta.c))
+            _logger.debug(
+                "kronfit iter %d: loglik=%.2f theta=(%.4f, %.4f, %.4f)",
+                iteration,
+                value,
+                theta.a,
+                theta.b,
+                theta.c,
+            )
+        acceptance = sampler.accepted / max(sampler.proposed, 1)
+        return KronFitResult(
+            initiator=theta.canonical(),
+            k=k,
+            log_likelihoods=tuple(log_likelihoods),
+            acceptance_rate=float(acceptance),
+            trajectory=tuple(trajectory),
+        )
+
+
+def _clip(theta: Initiator) -> Initiator:
+    return Initiator(
+        float(np.clip(theta.a, _PARAM_LOW, _PARAM_HIGH)),
+        float(np.clip(theta.b, _PARAM_LOW, _PARAM_HIGH)),
+        float(np.clip(theta.c, _PARAM_LOW, _PARAM_HIGH)),
+    )

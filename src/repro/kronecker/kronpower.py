@@ -1,0 +1,97 @@
+"""Dense Kronecker powers and brute-force expected counts.
+
+These routines realise Definitions 3.1–3.4 of the paper literally: the
+k-th Kronecker power of the initiator is the edge-probability matrix P of
+the SKG.  They are exponential in ``k`` by nature (P has ``4^k`` entries),
+so they exist for two purposes only:
+
+* as the **reference semantics** against which the O(E) sampler and the
+  closed-form moment formulas are verified in tests, and
+* for pedagogical use on small graphs in the examples.
+
+Production paths (sampling, estimation) never materialise P.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.kronecker.initiator import Initiator, as_initiator
+from repro.stats.counts import MatchingStatistics
+from repro.utils.validation import check_integer, check_probability_matrix
+
+__all__ = [
+    "kronecker_power",
+    "edge_probability_matrix",
+    "brute_force_expected_counts",
+]
+
+# 2**12 x 2**12 float64 = 128 MiB; anything beyond is almost certainly a bug.
+_MAX_DENSE_NODES = 4096
+
+
+def kronecker_power(matrix: np.ndarray, k: int) -> np.ndarray:
+    """The k-fold Kronecker power ``matrix ⊗ ... ⊗ matrix`` (k >= 1)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    k = check_integer(k, "k", minimum=1)
+    side = matrix.shape[0] ** k
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(f"matrix must be square, got shape {matrix.shape}")
+    if side > _MAX_DENSE_NODES:
+        raise ValidationError(
+            f"refusing to materialise a dense {side}x{side} Kronecker power "
+            f"(limit {_MAX_DENSE_NODES}); use repro.kronecker.sampling instead"
+        )
+    result = matrix
+    for _ in range(k - 1):
+        result = np.kron(result, matrix)
+    return result
+
+
+def edge_probability_matrix(initiator, k: int) -> np.ndarray:
+    """P = Θ^{⊗k} with the diagonal zeroed — undirected edge probabilities.
+
+    Under the paper's §3.2 symmetrization (loops dropped, lower triangle of
+    the directed realization mirrored), each unordered pair {u, v}, u ≠ v,
+    is an edge independently with probability ``P[u, v]``; P is symmetric
+    because Θ is.
+    """
+    theta = as_initiator(initiator)
+    power = kronecker_power(theta.matrix(), k)
+    np.fill_diagonal(power, 0.0)
+    return power
+
+
+def brute_force_expected_counts(probabilities: np.ndarray) -> MatchingStatistics:
+    """Exact expectations of {E, H, T, Δ} under independent edges.
+
+    ``probabilities`` is any symmetric zero-diagonal matrix of edge
+    probabilities (not necessarily Kronecker-structured).  With row sums
+    ``s1``, ``s2``, ``s3`` of P, P², P³ (entrywise powers):
+
+    * ``E[E] = ½ Σ_v s1_v``
+    * ``E[H] = Σ_v e₂(row v) = ½ Σ_v (s1_v² − s2_v)``
+    * ``E[T] = Σ_v e₃(row v) = ⅙ Σ_v (s1_v³ − 3 s1_v s2_v + 2 s3_v)``
+    * ``E[Δ] = tr(P³)/6`` (zero diagonal kills degenerate triples)
+
+    This is the oracle used to validate the paper's Eq. (1) closed forms.
+    """
+    p = check_probability_matrix(probabilities, "probabilities")
+    if not np.allclose(p, p.T):
+        raise ValidationError("probabilities must be symmetric")
+    if np.any(np.diagonal(p) != 0.0):
+        raise ValidationError("probabilities must have a zero diagonal")
+    s1 = p.sum(axis=1)
+    s2 = (p**2).sum(axis=1)
+    s3 = (p**3).sum(axis=1)
+    expected_edges = 0.5 * s1.sum()
+    expected_hairpins = 0.5 * (s1**2 - s2).sum()
+    expected_tripins = (s1**3 - 3.0 * s1 * s2 + 2.0 * s3).sum() / 6.0
+    expected_triangles = np.trace(p @ p @ p) / 6.0
+    return MatchingStatistics(
+        edges=float(expected_edges),
+        hairpins=float(expected_hairpins),
+        tripins=float(expected_tripins),
+        triangles=float(expected_triangles),
+    )

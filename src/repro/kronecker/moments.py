@@ -1,0 +1,135 @@
+"""Gleich–Owen closed-form expected counts under the SKG model (paper Eq. 1).
+
+For Θ = [[a, b], [b, c]] and P = Θ^{⊗k} with the paper's undirected
+semantics (zero diagonal, each unordered pair an independent edge), the
+expected counts of edges E, hairpins H (2-stars), triangles Δ and tripins
+T (3-stars) admit closed forms: every term is ``(polynomial in a, b, c)^k``
+because sums over node bit-patterns factor across the k Kronecker levels.
+
+The expressions below follow Eq. (1) of the paper (equivalently Gleich &
+Owen §4); tests validate every formula against
+:func:`repro.kronecker.kronpower.brute_force_expected_counts` on dense
+Kronecker powers for k ≤ 4 and against Monte-Carlo sampling.
+
+All functions are vectorised in ``(a, b, c)`` via numpy broadcasting, which
+the moment-matching grid search relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kronecker.initiator import as_initiator
+from repro.stats.counts import MatchingStatistics
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "expected_edges",
+    "expected_hairpins",
+    "expected_triangles",
+    "expected_tripins",
+    "expected_statistics",
+    "expected_feature_vector",
+]
+
+
+def expected_edges(a, b, c, k: int):
+    """E[E] = ½[(a + 2b + c)^k − (a + c)^k]."""
+    k = check_integer(k, "k", minimum=1)
+    a, b, c = np.asarray(a, float), np.asarray(b, float), np.asarray(c, float)
+    return 0.5 * ((a + 2 * b + c) ** k - (a + c) ** k)
+
+
+def expected_hairpins(a, b, c, k: int):
+    """E[H] = ½[((a+b)² + (b+c)²)^k − 2(a(a+b) + c(b+c))^k
+    − (a² + 2b² + c²)^k + 2(a² + c²)^k]."""
+    k = check_integer(k, "k", minimum=1)
+    a, b, c = np.asarray(a, float), np.asarray(b, float), np.asarray(c, float)
+    term_pairs = ((a + b) ** 2 + (b + c) ** 2) ** k
+    term_center = (a * (a + b) + c * (b + c)) ** k
+    term_square = (a**2 + 2 * b**2 + c**2) ** k
+    term_diag = (a**2 + c**2) ** k
+    return 0.5 * (term_pairs - 2 * term_center - term_square + 2 * term_diag)
+
+
+def expected_triangles(a, b, c, k: int):
+    """E[Δ] = ⅙[(a³ + 3b²(a+c) + c³)^k − 3(a(a²+b²) + c(b²+c²))^k
+    + 2(a³ + c³)^k]."""
+    k = check_integer(k, "k", minimum=1)
+    a, b, c = np.asarray(a, float), np.asarray(b, float), np.asarray(c, float)
+    closed = (a**3 + 3 * b**2 * (a + c) + c**3) ** k
+    one_repeat = (a * (a**2 + b**2) + c * (b**2 + c**2)) ** k
+    all_equal = (a**3 + c**3) ** k
+    return (closed - 3 * one_repeat + 2 * all_equal) / 6.0
+
+
+def expected_tripins(a, b, c, k: int):
+    """E[T] = ⅙[((a+b)³ + (b+c)³)^k − 3(a(a+b)² + c(b+c)²)^k
+    − 3(a³ + c³ + b(a²+c²) + b²(a+c) + 2b³)^k + 2(a³ + 2b³ + c³)^k
+    + 3(a³ + c³ + b²(a+c))^k + 6(a³ + c³ + b(a²+c²))^k − 6(a³ + c³)^k].
+
+    Derivation: E[T] = Σ_v e₃(row v) with
+    ``e₃ = (s₁³ − 3 s₁ s₂ + 2 s₃)/6`` and ``s_m(v) = r_m(v) − D(v)^m``,
+    where ``r_m(v) = Σ_u P_uv^m`` (full row) and ``D(v) = P_vv``.  Each of
+    the seven resulting sums over v factors across the k Kronecker levels
+    into a ``(polynomial)^k`` term.  Note: the coefficient pattern printed
+    in the paper's Eq. (1) (… + 5(…)^k + 4(…)^k …) is OCR-corrupted; the
+    coefficients below (+3 and +6 on those terms) are the ones that agree
+    with brute-force expectations — see tests/kronecker/test_moments.py.
+    """
+    k = check_integer(k, "k", minimum=1)
+    a, b, c = np.asarray(a, float), np.asarray(b, float), np.asarray(c, float)
+    cube_rows = ((a + b) ** 3 + (b + c) ** 3) ** k  # Σ r₁³
+    center_hit = (a * (a + b) ** 2 + c * (b + c) ** 2) ** k  # Σ r₁² D
+    pair_mixed = (a**3 + c**3 + b * (a**2 + c**2) + b**2 * (a + c) + 2 * b**3) ** k  # Σ r₁ r₂
+    all_three = (a**3 + 2 * b**3 + c**3) ** k  # Σ r₃
+    two_match_sq = (a**3 + c**3 + b**2 * (a + c)) ** k  # Σ D r₂
+    two_match_lin = (a**3 + c**3 + b * (a**2 + c**2)) ** k  # Σ r₁ D²
+    diag_only = (a**3 + c**3) ** k  # Σ D³
+    return (
+        cube_rows
+        - 3 * center_hit
+        - 3 * pair_mixed
+        + 2 * all_three
+        + 3 * two_match_sq
+        + 6 * two_match_lin
+        - 6 * diag_only
+    ) / 6.0
+
+
+def expected_statistics(initiator, k: int) -> MatchingStatistics:
+    """All four expected matching features of Θ^{⊗k} as a named tuple."""
+    theta = as_initiator(initiator)
+    return MatchingStatistics(
+        edges=float(expected_edges(theta.a, theta.b, theta.c, k)),
+        hairpins=float(expected_hairpins(theta.a, theta.b, theta.c, k)),
+        tripins=float(expected_tripins(theta.a, theta.b, theta.c, k)),
+        triangles=float(expected_triangles(theta.a, theta.b, theta.c, k)),
+    )
+
+
+_FEATURE_FUNCTIONS = {
+    "edges": expected_edges,
+    "hairpins": expected_hairpins,
+    "tripins": expected_tripins,
+    "triangles": expected_triangles,
+}
+
+
+def expected_feature_vector(a, b, c, k: int, features: tuple[str, ...]):
+    """Stack of expected feature values (broadcast over a, b, c).
+
+    ``features`` names a subset of ``{"edges", "hairpins", "tripins",
+    "triangles"}``; the result has shape ``(len(features),) + broadcast``.
+    """
+    rows = []
+    for name in features:
+        try:
+            function = _FEATURE_FUNCTIONS[name]
+        except KeyError:
+            known = ", ".join(_FEATURE_FUNCTIONS)
+            raise ValueError(f"unknown feature {name!r}; known features: {known}") from None
+        rows.append(np.asarray(function(a, b, c, k), dtype=np.float64))
+    if len(rows) > 1:
+        rows = np.broadcast_arrays(*rows)
+    return np.stack(rows)

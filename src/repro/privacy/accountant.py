@@ -1,0 +1,111 @@
+"""Privacy-budget accounting under sequential composition.
+
+The paper composes two sub-mechanisms (degree release at ε/2, triangle
+release at (ε/2, δ)) and invokes the composition theorem (Theorem 4.9:
+ℓ mechanisms at (ε, δ) compose to (ℓε, ℓδ)).  :class:`PrivacyAccountant`
+makes that bookkeeping explicit and auditable: mechanisms *charge* the
+accountant, the accountant refuses spends beyond the budget, and the final
+ledger is attached to every released artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PrivacyBudgetError
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["PrivacySpend", "PrivacyAccountant"]
+
+
+@dataclass(frozen=True)
+class PrivacySpend:
+    """One ledger entry: a mechanism that consumed (epsilon, delta)."""
+
+    label: str
+    epsilon: float
+    delta: float
+
+
+class PrivacyAccountant:
+    """Tracks (ε, δ) consumption under sequential composition.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Total budget.  Attempted spends that would exceed either component
+        raise :class:`~repro.errors.PrivacyBudgetError` *before* any noise
+        is drawn, so a failed request cannot leak.
+
+    Examples
+    --------
+    >>> accountant = PrivacyAccountant(epsilon=0.2, delta=0.01)
+    >>> accountant.charge("degrees", epsilon=0.1, delta=0.0)
+    >>> accountant.spent
+    (0.1, 0.0)
+    >>> accountant.remaining
+    (0.1, 0.01)
+    """
+
+    # Tolerance for floating-point accumulation when checking the budget.
+    _SLACK = 1e-12
+
+    def __init__(self, epsilon: float, delta: float = 0.0) -> None:
+        self.epsilon = check_nonnegative(epsilon, "epsilon")
+        self.delta = check_nonnegative(delta, "delta")
+        self._ledger: list[PrivacySpend] = []
+
+    @property
+    def ledger(self) -> tuple[PrivacySpend, ...]:
+        """All spends so far, in order."""
+        return tuple(self._ledger)
+
+    @property
+    def spent(self) -> tuple[float, float]:
+        """Total (epsilon, delta) consumed (sequential composition)."""
+        total_epsilon = sum(entry.epsilon for entry in self._ledger)
+        total_delta = sum(entry.delta for entry in self._ledger)
+        return total_epsilon, total_delta
+
+    @property
+    def remaining(self) -> tuple[float, float]:
+        """Budget left, floored at zero."""
+        spent_epsilon, spent_delta = self.spent
+        return max(self.epsilon - spent_epsilon, 0.0), max(self.delta - spent_delta, 0.0)
+
+    def charge(self, label: str, epsilon: float, delta: float = 0.0) -> None:
+        """Record a spend, or raise if it would exceed the budget."""
+        epsilon = check_nonnegative(epsilon, "epsilon")
+        delta = check_nonnegative(delta, "delta")
+        spent_epsilon, spent_delta = self.spent
+        if spent_epsilon + epsilon > self.epsilon + self._SLACK:
+            raise PrivacyBudgetError(
+                f"charge {label!r} of epsilon={epsilon} exceeds remaining "
+                f"epsilon budget {self.epsilon - spent_epsilon:.6g}"
+            )
+        if spent_delta + delta > self.delta + self._SLACK:
+            raise PrivacyBudgetError(
+                f"charge {label!r} of delta={delta} exceeds remaining "
+                f"delta budget {self.delta - spent_delta:.6g}"
+            )
+        self._ledger.append(PrivacySpend(label=label, epsilon=epsilon, delta=delta))
+
+    def describe(self) -> str:
+        """Human-readable ledger summary."""
+        spent_epsilon, spent_delta = self.spent
+        lines = [
+            f"privacy budget: epsilon={self.epsilon:g}, delta={self.delta:g}",
+            f"spent:          epsilon={spent_epsilon:g}, delta={spent_delta:g}",
+        ]
+        for entry in self._ledger:
+            lines.append(
+                f"  - {entry.label}: epsilon={entry.epsilon:g}, delta={entry.delta:g}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        spent_epsilon, spent_delta = self.spent
+        return (
+            f"PrivacyAccountant(epsilon={self.epsilon:g}, delta={self.delta:g}, "
+            f"spent=({spent_epsilon:g}, {spent_delta:g}), entries={len(self._ledger)})"
+        )

@@ -1,0 +1,98 @@
+"""DP release of the sorted degree sequence (Hay–Li–Miklau–Jensen).
+
+The paper's step 2: the sorted degree sequence ``d_S`` has L1 global
+sensitivity 2 under single-edge change (one edge flip moves two degrees by
+one each, and sorting cannot increase the L1 distance), so
+
+    d̂ = d_S + ⟨Lap(2/ε)⟩^n
+
+is (ε, 0)-DP (Theorem 4.5).  Hay et al.'s *constrained inference* then
+exploits the public fact that the true vector is sorted: the released
+estimate is the L2 projection of d̂ onto non-decreasing sequences
+(:func:`repro.privacy.isotonic.isotonic_regression`), which provably never
+hurts and empirically removes most of the noise on the long flat runs of
+real degree sequences.  Post-processing is privacy-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.privacy.isotonic import isotonic_regression
+from repro.privacy.mechanisms import laplace_noise
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["DegreeRelease", "release_sorted_degrees", "DEGREE_SENSITIVITY"]
+
+# L1 global sensitivity of the sorted degree sequence under edge change.
+DEGREE_SENSITIVITY = 2.0
+
+
+@dataclass(frozen=True)
+class DegreeRelease:
+    """Result of a DP degree-sequence release.
+
+    Attributes
+    ----------
+    degrees:
+        The (ε, 0)-DP non-decreasing degree estimate (float-valued).
+    noisy:
+        The pre-inference noisy sequence d̂ (kept for diagnostics; equally
+        private, since constrained inference is post-processing).
+    epsilon:
+        Budget consumed.
+    clip_negative:
+        Whether the final estimate was clipped at zero.
+    """
+
+    degrees: np.ndarray
+    noisy: np.ndarray
+    epsilon: float
+    clip_negative: bool
+
+    def l2_error(self, true_sorted_degrees: np.ndarray) -> float:
+        """RMSE against the true sorted sequence (evaluation helper)."""
+        truth = np.asarray(true_sorted_degrees, dtype=np.float64)
+        return float(np.sqrt(np.mean((self.degrees - truth) ** 2)))
+
+
+def release_sorted_degrees(
+    graph: Graph,
+    epsilon: float,
+    *,
+    constrained_inference: bool = True,
+    clip_negative: bool = True,
+    seed: SeedLike = None,
+) -> DegreeRelease:
+    """(ε, 0)-DP estimate of the sorted degree sequence of ``graph``.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy parameter of this sub-release (Algorithm 1 passes ε/2).
+    constrained_inference:
+        Apply Hay et al.'s isotonic post-processing (on by default; off
+        reproduces the plain Laplace baseline for the ablation bench).
+    clip_negative:
+        Clip the final estimate at zero — degrees are publicly known to be
+        non-negative, and clipping is also privacy-free post-processing.
+    """
+    epsilon = check_positive(epsilon, "epsilon")
+    rng = as_generator(seed)
+    sorted_degrees = np.sort(graph.degrees).astype(np.float64)
+    noisy = sorted_degrees + laplace_noise(
+        DEGREE_SENSITIVITY / epsilon, sorted_degrees.size or 1, rng
+    )[: sorted_degrees.size]
+    estimate = isotonic_regression(noisy) if constrained_inference else noisy.copy()
+    if clip_negative:
+        estimate = np.maximum(estimate, 0.0)
+    return DegreeRelease(
+        degrees=estimate,
+        noisy=noisy,
+        epsilon=epsilon,
+        clip_negative=clip_negative,
+    )

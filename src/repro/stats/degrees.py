@@ -1,0 +1,64 @@
+"""Degree-based statistics: sequences, distributions, CCDFs.
+
+The sorted degree sequence is the object Hay et al.'s DP release operates
+on; the degree distribution (count of nodes per degree value) is the
+paper's Figure (b) series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "degree_sequence",
+    "sorted_degree_sequence",
+    "degree_distribution",
+    "degree_ccdf",
+]
+
+
+def degree_sequence(graph: Graph) -> np.ndarray:
+    """Degrees indexed by node id (copy; callers may mutate)."""
+    return graph.degrees.copy()
+
+
+def sorted_degree_sequence(graph: Graph) -> np.ndarray:
+    """Degrees sorted ascending — ``d_S`` in the paper's Section 4."""
+    return np.sort(graph.degrees)
+
+
+def degree_distribution(
+    degrees_or_graph: Graph | np.ndarray,
+    *,
+    include_zero: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(values, counts)``: how many nodes have each degree.
+
+    Accepts either a graph or a precomputed (integer) degree vector.  Only
+    degrees with non-zero counts are returned; ``include_zero`` keeps the
+    degree-0 bucket, which log-log plots drop.
+    """
+    degrees = _as_degree_vector(degrees_or_graph)
+    values, counts = np.unique(degrees, return_counts=True)
+    if not include_zero:
+        keep = values > 0
+        values, counts = values[keep], counts[keep]
+    return values.astype(np.int64), counts.astype(np.int64)
+
+
+def degree_ccdf(degrees_or_graph: Graph | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Complementary CDF of the degree distribution: P(D >= d) per value d."""
+    degrees = _as_degree_vector(degrees_or_graph)
+    if degrees.size == 0:
+        return np.empty(0, np.int64), np.empty(0, np.float64)
+    values, counts = np.unique(degrees, return_counts=True)
+    tail = np.cumsum(counts[::-1])[::-1] / degrees.size
+    return values.astype(np.int64), tail
+
+
+def _as_degree_vector(degrees_or_graph: Graph | np.ndarray) -> np.ndarray:
+    if isinstance(degrees_or_graph, Graph):
+        return degrees_or_graph.degrees
+    return np.asarray(degrees_or_graph, dtype=np.int64)

@@ -1,0 +1,23 @@
+"""Shared low-level utilities: RNG policy, validation, tables, logging."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_in_unit_interval,
+    check_positive,
+    check_nonnegative,
+    check_probability_matrix,
+    check_integer,
+)
+from repro.utils.tables import TextTable, format_float
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_in_unit_interval",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability_matrix",
+    "check_integer",
+    "TextTable",
+    "format_float",
+]

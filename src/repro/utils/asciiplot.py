@@ -1,0 +1,148 @@
+"""ASCII scatter plots for log-scale figure series.
+
+The paper's figures are log-log (or semi-log, for hop plots) gnuplot
+overlays.  With no raster plotting stack available, this module renders
+the same overlays as monospace scatter plots: one marker per series,
+log-spaced tick labels, and a legend.  The bench artifacts in
+``benchmarks/out/`` embed these, so "the hop plots coincide" is visible at
+a glance rather than inferred from number rows.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["ascii_scatter", "MARKERS"]
+
+MARKERS = "o+x*#@%&"
+
+
+def ascii_scatter(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 68,
+    height: int = 18,
+    log_x: bool = True,
+    log_y: bool = True,
+    title: str | None = None,
+) -> str:
+    """Render labelled (x, y) series as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping from label to ``(xs, ys)`` arrays.  With a log axis,
+        non-positive values on that axis are dropped (matching what a
+        log-log plot can show).
+    width, height:
+        Plot-area size in characters (excluding axes and labels).
+    log_x, log_y:
+        Per-axis log scaling; hop plots use ``log_x=False``.
+    title:
+        Optional heading line.
+
+    Returns
+    -------
+    The plot as a multi-line string; empty-series input degrades to a
+    note rather than raising.
+    """
+    if width < 16 or height < 6:
+        raise ValidationError("plot area must be at least 16x6 characters")
+    cleaned = {}
+    for label, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape:
+            raise ValidationError(f"series {label!r}: x/y shape mismatch")
+        keep = np.isfinite(xs) & np.isfinite(ys)
+        if log_x:
+            keep &= xs > 0
+        if log_y:
+            keep &= ys > 0
+        if keep.any():
+            cleaned[label] = (xs[keep], ys[keep])
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not cleaned:
+        lines.append("(no positive data to plot)")
+        return "\n".join(lines)
+
+    all_x = np.concatenate([xs for xs, _ in cleaned.values()])
+    all_y = np.concatenate([ys for _, ys in cleaned.values()])
+    x_lo, x_hi = _axis_range(all_x, log_x)
+    y_lo, y_hi = _axis_range(all_y, log_y)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, (xs, ys)) in enumerate(cleaned.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        columns = _to_cells(xs, x_lo, x_hi, width, log_x)
+        rows = _to_cells(ys, y_lo, y_hi, height, log_y)
+        for column, row in zip(columns, rows):
+            cell = grid[height - 1 - row][column]
+            # Overlap: keep the first marker, flag multi-series collisions.
+            if cell == " ":
+                grid[height - 1 - row][column] = marker
+            elif cell != marker:
+                grid[height - 1 - row][column] = "."
+
+    y_labels = _tick_labels(y_lo, y_hi, height, log_y)
+    label_width = max(len(label) for label in y_labels.values())
+    for row in range(height):
+        label = y_labels.get(row, "").rjust(label_width)
+        lines.append(f"{label} |{''.join(grid[row])}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = _x_axis_line(x_lo, x_hi, width, log_x)
+    lines.append(" " * label_width + "  " + x_axis)
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {label}" for i, label in enumerate(cleaned)
+    )
+    lines.append(f"{' ' * label_width}  [{legend}]   ('.' = overlap)")
+    return "\n".join(lines)
+
+
+def _axis_range(values: np.ndarray, log: bool) -> tuple[float, float]:
+    lo, hi = float(values.min()), float(values.max())
+    if log:
+        lo, hi = math.log10(lo), math.log10(hi)
+    if hi - lo < 1e-12:
+        lo, hi = lo - 0.5, hi + 0.5
+    return lo, hi
+
+
+def _to_cells(
+    values: np.ndarray, lo: float, hi: float, cells: int, log: bool
+) -> np.ndarray:
+    transformed = np.log10(values) if log else values
+    fraction = (transformed - lo) / (hi - lo)
+    return np.clip((fraction * (cells - 1)).round().astype(int), 0, cells - 1)
+
+
+def _format_tick(value: float, log: bool) -> str:
+    actual = 10**value if log else value
+    if actual != 0 and (abs(actual) >= 1e5 or abs(actual) < 1e-3):
+        return f"{actual:.1e}"
+    if actual == int(actual):
+        return str(int(actual))
+    return f"{actual:.3g}"
+
+
+def _tick_labels(lo: float, hi: float, height: int, log: bool) -> dict[int, str]:
+    ticks = {}
+    for row, fraction in ((0, 1.0), (height // 2, 0.5), (height - 1, 0.0)):
+        ticks[row] = _format_tick(lo + fraction * (hi - lo), log)
+    return ticks
+
+
+def _x_axis_line(lo: float, hi: float, width: int, log: bool) -> str:
+    left = _format_tick(lo, log)
+    middle = _format_tick(lo + 0.5 * (hi - lo), log)
+    right = _format_tick(hi, log)
+    gap = width - len(left) - len(middle) - len(right)
+    pad = max(gap // 2, 1)
+    return left + " " * pad + middle + " " * max(gap - pad, 1) + right

@@ -1,0 +1,25 @@
+"""Library logging configuration.
+
+:mod:`repro` logs progress of long-running routines (KronFit iterations,
+ensemble generation) through the standard :mod:`logging` module under the
+``"repro"`` namespace and never configures the root logger — applications
+stay in control of handlers and levels.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``name`` is usually ``__name__`` of the calling module; a leading
+    ``repro.`` prefix is added if missing so that ad-hoc names nest
+    correctly under the library namespace.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,63 @@
+"""Shared fixtures: small canonical graphs and reproducible RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3: the smallest graph with a triangle."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def square_with_diagonal() -> Graph:
+    """4-cycle plus one chord: two triangles sharing an edge."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+
+
+@pytest.fixture
+def star5() -> Graph:
+    """Star on 5 nodes (pure hairpins, no triangles)."""
+    return star_graph(5)
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """Path on 4 nodes."""
+    return path_graph(4)
+
+
+@pytest.fixture
+def k5() -> Graph:
+    """Complete graph on 5 nodes."""
+    return complete_graph(5)
+
+
+@pytest.fixture
+def c6() -> Graph:
+    """Cycle on 6 nodes."""
+    return cycle_graph(6)
+
+
+@pytest.fixture
+def er_graph() -> Graph:
+    """A fixed medium Erdős–Rényi graph for statistical tests."""
+    return erdos_renyi_graph(200, 0.05, seed=7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for test-local randomness."""
+    return np.random.default_rng(12345)

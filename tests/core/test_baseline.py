@@ -1,0 +1,81 @@
+"""Tests for the DP degree-sequence synthesizer baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.graphs import Graph
+from repro.graphs.generators import barabasi_albert_graph
+from repro.core.baseline import DPDegreeSequenceSynthesizer, _round_to_graphical
+from repro.stats.comparison import ks_distance
+
+
+@pytest.fixture(scope="module")
+def source_graph():
+    return barabasi_albert_graph(400, 4, seed=0)
+
+
+class TestFit:
+    def test_budget_ledger(self, source_graph):
+        model = DPDegreeSequenceSynthesizer(epsilon=0.5, seed=0).fit(source_graph)
+        assert model.epsilon == pytest.approx(0.5)
+        assert model.accountant.spent[1] == 0.0  # pure epsilon-DP
+
+    def test_degrees_are_integer_and_sorted(self, source_graph):
+        model = DPDegreeSequenceSynthesizer(epsilon=0.5, seed=0).fit(source_graph)
+        assert model.degrees.dtype == np.int64
+        assert np.all(np.diff(model.degrees) >= 0)
+
+    def test_degree_sum_even(self, source_graph):
+        for seed in range(5):
+            model = DPDegreeSequenceSynthesizer(epsilon=0.3, seed=seed).fit(
+                source_graph
+            )
+            assert model.degrees.sum() % 2 == 0
+
+    def test_high_epsilon_recovers_exact_degrees(self, source_graph):
+        model = DPDegreeSequenceSynthesizer(epsilon=1000.0, seed=1).fit(source_graph)
+        truth = np.sort(source_graph.degrees)
+        # Parity fix may nudge one degree by one.
+        assert np.abs(model.degrees - truth).sum() <= 1
+
+    def test_too_small_graph_rejected(self):
+        with pytest.raises(EstimationError):
+            DPDegreeSequenceSynthesizer().fit(Graph(1))
+
+    def test_deterministic(self, source_graph):
+        a = DPDegreeSequenceSynthesizer(epsilon=0.5, seed=3).fit(source_graph)
+        b = DPDegreeSequenceSynthesizer(epsilon=0.5, seed=3).fit(source_graph)
+        np.testing.assert_array_equal(a.degrees, b.degrees)
+
+
+class TestSampling:
+    def test_sample_matches_degree_distribution(self, source_graph):
+        model = DPDegreeSequenceSynthesizer(epsilon=5.0, seed=0).fit(source_graph)
+        synthetic = model.sample_graph(seed=1)
+        distance = ks_distance(
+            source_graph.degrees[source_graph.degrees > 0],
+            synthetic.degrees[synthetic.degrees > 0],
+        )
+        assert distance < 0.1
+
+    def test_sample_graphs_reproducible(self, source_graph):
+        model = DPDegreeSequenceSynthesizer(epsilon=1.0, seed=0).fit(source_graph)
+        first = model.sample_graphs(2, seed=4)
+        second = model.sample_graphs(2, seed=4)
+        assert all(a == b for a, b in zip(first, second))
+
+
+class TestRounding:
+    def test_clips_and_rounds(self):
+        rounded = _round_to_graphical(np.array([-1.2, 0.4, 2.6, 99.0]), 10)
+        assert rounded.min() >= 0
+        assert rounded.max() <= 9
+        assert rounded.sum() % 2 == 0
+
+    def test_parity_fix_nudges_one_degree(self):
+        rounded = _round_to_graphical(np.array([1.0, 1.0, 1.0]), 5)
+        assert rounded.sum() % 2 == 0
+        assert rounded.sum() in (2, 4)

@@ -1,0 +1,124 @@
+"""Tests for the private estimator (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.graphs import Graph
+from repro.core.estimator import PrivateKroneckerEstimator
+from repro.core.nonprivate import fit_kronmom
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.sampling import sample_skg
+
+
+@pytest.fixture(scope="module")
+def skg_graph():
+    return sample_skg(Initiator(0.95, 0.5, 0.2), 11, seed=1)
+
+
+class TestAlgorithm1:
+    def test_budget_recorded(self, skg_graph):
+        estimate = PrivateKroneckerEstimator(0.2, 0.01, seed=0).fit(skg_graph)
+        assert estimate.epsilon == pytest.approx(0.2)
+        assert estimate.delta == pytest.approx(0.01)
+
+    def test_k_matches_graph_size(self, skg_graph):
+        estimate = PrivateKroneckerEstimator(0.2, 0.01, seed=0).fit(skg_graph)
+        assert estimate.k == 11
+
+    def test_high_epsilon_approaches_nonprivate(self, skg_graph):
+        # With a huge budget the DP statistics converge to the exact ones,
+        # so the private fit must converge to the non-private KronMom fit.
+        reference = fit_kronmom(skg_graph).initiator
+        estimate = PrivateKroneckerEstimator(10_000.0, 0.001, seed=0).fit(skg_graph)
+        assert estimate.initiator.distance(reference) < 0.02
+
+    def test_paper_epsilon_stays_close_to_nonprivate(self, skg_graph):
+        reference = fit_kronmom(skg_graph).initiator
+        distances = [
+            PrivateKroneckerEstimator(0.2, 0.01, seed=s)
+            .fit(skg_graph)
+            .initiator.distance(reference)
+            for s in range(5)
+        ]
+        assert np.median(distances) < 0.15
+
+    def test_deterministic_given_seed(self, skg_graph):
+        a = PrivateKroneckerEstimator(0.2, 0.01, seed=5).fit(skg_graph)
+        b = PrivateKroneckerEstimator(0.2, 0.01, seed=5).fit(skg_graph)
+        assert a.initiator == b.initiator
+
+    def test_different_seeds_differ(self, skg_graph):
+        a = PrivateKroneckerEstimator(0.2, 0.01, seed=1).fit(skg_graph)
+        b = PrivateKroneckerEstimator(0.2, 0.01, seed=2).fit(skg_graph)
+        assert a.initiator != b.initiator
+
+    def test_canonical_result(self, skg_graph):
+        estimate = PrivateKroneckerEstimator(0.2, 0.01, seed=0).fit(skg_graph)
+        assert estimate.initiator.a >= estimate.initiator.c
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(EstimationError):
+            PrivateKroneckerEstimator(0.2, 0.01).fit(Graph(1))
+
+
+class TestTriangleFloorPolicies:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PrivateKroneckerEstimator(0.2, 0.01, triangle_floor="median")
+
+    @pytest.mark.parametrize("policy", ["noise_scale", "one", "none"])
+    def test_policies_run(self, policy, skg_graph):
+        estimate = PrivateKroneckerEstimator(
+            0.2, 0.01, triangle_floor=policy, seed=0
+        ).fit(skg_graph)
+        assert 0.0 <= estimate.initiator.c <= estimate.initiator.a <= 1.0
+
+    def test_noise_scale_floor_applied_when_noisy_count_negative(self, skg_graph):
+        # Find a seed where the raw triangle release is negative, then
+        # check that the matched statistic was lifted to the noise scale.
+        for seed in range(60):
+            estimator = PrivateKroneckerEstimator(0.2, 0.01, seed=seed)
+            estimate = estimator.fit(skg_graph)
+            raw = estimate.release.statistics.triangles
+            scale = estimate.release.triangle_release.noise_scale
+            if raw < scale:
+                assert estimate.moment_result.observed.triangles == pytest.approx(
+                    max(scale, 1.0)
+                )
+                break
+        else:
+            pytest.skip("no negative triangle draw in 60 seeds")
+
+    def test_noise_scale_floor_more_stable_than_floor_one(self, skg_graph):
+        reference = fit_kronmom(skg_graph).initiator
+        seeds = range(8)
+        stable = np.median(
+            [
+                PrivateKroneckerEstimator(0.2, 0.01, seed=s)
+                .fit(skg_graph)
+                .initiator.distance(reference)
+                for s in seeds
+            ]
+        )
+        naive = np.median(
+            [
+                PrivateKroneckerEstimator(0.2, 0.01, triangle_floor="one", seed=s)
+                .fit(skg_graph)
+                .initiator.distance(reference)
+                for s in seeds
+            ]
+        )
+        assert stable <= naive + 1e-9
+
+
+class TestBudgetSplit:
+    def test_custom_degree_share_recorded(self, skg_graph):
+        estimate = PrivateKroneckerEstimator(
+            1.0, 0.01, degree_share=0.8, seed=0
+        ).fit(skg_graph)
+        entries = estimate.release.accountant.ledger
+        assert entries[0].epsilon == pytest.approx(0.8)
+        assert entries[1].epsilon == pytest.approx(0.2)

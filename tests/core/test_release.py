@@ -1,0 +1,51 @@
+"""Tests for the publishable PrivateEstimate object."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.estimator import PrivateKroneckerEstimator
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.sampling import sample_skg
+
+
+@pytest.fixture(scope="module")
+def estimate():
+    graph = sample_skg(Initiator(0.9, 0.5, 0.2), 8, seed=0)
+    return PrivateKroneckerEstimator(1.0, 0.01, seed=0).fit(graph)
+
+
+class TestSampling:
+    def test_sample_graph_size(self, estimate):
+        graph = estimate.sample_graph(seed=0)
+        assert graph.n_nodes == 2**estimate.k
+
+    def test_sample_graph_deterministic(self, estimate):
+        assert estimate.sample_graph(seed=4) == estimate.sample_graph(seed=4)
+
+    def test_sample_graphs_count_and_reproducibility(self, estimate):
+        first = estimate.sample_graphs(3, seed=7)
+        second = estimate.sample_graphs(3, seed=7)
+        assert len(first) == 3
+        assert all(a == b for a, b in zip(first, second))
+
+    def test_sample_graphs_are_independent(self, estimate):
+        graphs = estimate.sample_graphs(3, seed=1)
+        assert graphs[0] != graphs[1]
+
+
+class TestIntrospection:
+    def test_expected_statistics_positive(self, estimate):
+        stats = estimate.expected_statistics()
+        assert stats.edges > 0
+        assert stats.hairpins > 0
+
+    def test_describe_contains_parameters_and_ledger(self, estimate):
+        text = estimate.describe()
+        assert "private SKG estimate" in text
+        assert "privacy budget" in text
+        assert "kronecker order" in text
+
+    def test_frozen(self, estimate):
+        with pytest.raises(AttributeError):
+            estimate.k = 3  # type: ignore[misc]

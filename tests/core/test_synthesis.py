@@ -1,0 +1,42 @@
+"""Tests for ensemble synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.synthesis import ensemble_matching_statistics, sample_ensemble
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.moments import expected_statistics
+
+
+class TestSampleEnsemble:
+    def test_count(self):
+        graphs = sample_ensemble(Initiator(0.9, 0.5, 0.2), 6, 5, seed=0)
+        assert len(graphs) == 5
+
+    def test_reproducible(self):
+        a = sample_ensemble(Initiator(0.9, 0.5, 0.2), 6, 4, seed=3)
+        b = sample_ensemble(Initiator(0.9, 0.5, 0.2), 6, 4, seed=3)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_members_differ(self):
+        graphs = sample_ensemble(Initiator(0.9, 0.5, 0.2), 6, 3, seed=1)
+        assert graphs[0] != graphs[1]
+
+    def test_zero_count(self):
+        assert sample_ensemble(Initiator(0.9, 0.5, 0.2), 6, 0, seed=0) == []
+
+
+class TestEnsembleStatistics:
+    def test_mean_tracks_expectation(self):
+        theta = Initiator(0.9, 0.5, 0.2)
+        k = 7
+        graphs = sample_ensemble(theta, k, 200, seed=0)
+        means = ensemble_matching_statistics(graphs)
+        expected = expected_statistics(theta, k)
+        assert means.edges == pytest.approx(expected.edges, rel=0.05)
+        assert means.hairpins == pytest.approx(expected.hairpins, rel=0.15)
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            ensemble_matching_statistics([])

@@ -1,0 +1,45 @@
+"""Tests for experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import (
+    FIGURE_DATASETS,
+    ExperimentConfig,
+    default_config,
+)
+
+
+class TestConfig:
+    def test_figure_dataset_map(self):
+        assert FIGURE_DATASETS == {
+            1: "ca-grqc",
+            2: "as20",
+            3: "ca-hepth",
+            4: "synthetic-kronecker",
+        }
+
+    def test_paper_defaults(self):
+        config = ExperimentConfig()
+        assert config.epsilon == 0.2
+        assert config.delta == 0.01
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REALIZATIONS", "7")
+        monkeypatch.setenv("REPRO_EPSILON", "0.5")
+        monkeypatch.setenv("REPRO_HOP_SOURCES", "32")
+        config = default_config()
+        assert config.realizations == 7
+        assert config.epsilon == 0.5
+        assert config.hop_sources == 32
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REALIZATIONS", "many")
+        with pytest.raises(ValueError):
+            default_config()
+
+    def test_frozen(self):
+        config = ExperimentConfig()
+        with pytest.raises(AttributeError):
+            config.epsilon = 1.0  # type: ignore[misc]

@@ -1,0 +1,92 @@
+"""Tests for figure-statistics computation and ensemble averaging."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.figures import (
+    FigureSeries,
+    GraphStatistics,
+    STATISTIC_NAMES,
+    average_statistics,
+    compute_graph_statistics,
+)
+from repro.graphs.generators import erdos_renyi_graph
+
+
+class TestComputeGraphStatistics:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        graph = erdos_renyi_graph(120, 0.08, seed=0)
+        return compute_graph_statistics(graph, "Test", hop_sources=None, svd_rank=8)
+
+    def test_all_five_statistics_present(self, stats):
+        for name in STATISTIC_NAMES:
+            assert stats[name].label == "Test"
+
+    def test_hop_plot_starts_at_node_count(self, stats):
+        assert stats["hop_plot"].ys[0] == 120
+
+    def test_degree_distribution_counts_positive(self, stats):
+        assert np.all(stats["degree_distribution"].ys > 0)
+
+    def test_scree_descending(self, stats):
+        assert np.all(np.diff(stats["scree"].ys) <= 1e-9)
+
+    def test_network_value_length(self, stats):
+        assert stats["network_value"].ys.size == 120
+
+    def test_clustering_degrees_at_least_two(self, stats):
+        if stats["clustering"].xs.size:
+            assert stats["clustering"].xs.min() >= 2
+
+
+def _make_stats(label: str, hop: list, deg_xs: list, deg_ys: list) -> GraphStatistics:
+    empty = FigureSeries(label, np.array([1.0]), np.array([1.0]))
+    return GraphStatistics(
+        series={
+            "hop_plot": FigureSeries(label, np.arange(len(hop), dtype=float),
+                                     np.array(hop, dtype=float)),
+            "degree_distribution": FigureSeries(
+                label, np.array(deg_xs, dtype=float), np.array(deg_ys, dtype=float)
+            ),
+            "scree": FigureSeries(label, np.array([1.0, 2.0]), np.array([3.0, 1.0])),
+            "network_value": FigureSeries(
+                label, np.array([1.0, 2.0]), np.array([0.5, 0.25])
+            ),
+            "clustering": FigureSeries(
+                label, np.array(deg_xs, dtype=float), np.array(deg_ys, dtype=float)
+            ),
+        }
+    )
+
+
+class TestAverageStatistics:
+    def test_hop_plot_padded_with_saturated_value(self):
+        a = _make_stats("a", hop=[4, 10], deg_xs=[1], deg_ys=[2])
+        b = _make_stats("b", hop=[4, 8, 12], deg_xs=[1], deg_ys=[2])
+        mean = average_statistics([a, b], "Expected")
+        np.testing.assert_allclose(mean["hop_plot"].ys, [4, 9, 11])
+
+    def test_degree_distribution_union_with_zero_fill(self):
+        a = _make_stats("a", hop=[1], deg_xs=[1, 2], deg_ys=[10, 4])
+        b = _make_stats("b", hop=[1], deg_xs=[2, 3], deg_ys=[6, 2])
+        mean = average_statistics([a, b], "Expected")
+        np.testing.assert_array_equal(mean["degree_distribution"].xs, [1, 2, 3])
+        np.testing.assert_allclose(mean["degree_distribution"].ys, [5, 5, 1])
+
+    def test_clustering_averages_only_where_present(self):
+        a = _make_stats("a", hop=[1], deg_xs=[2, 3], deg_ys=[0.5, 0.2])
+        b = _make_stats("b", hop=[1], deg_xs=[3], deg_ys=[0.4])
+        mean = average_statistics([a, b], "Expected")
+        np.testing.assert_allclose(mean["clustering"].ys, [0.5, 0.3])
+
+    def test_label_propagates(self):
+        a = _make_stats("a", hop=[1], deg_xs=[1], deg_ys=[1])
+        mean = average_statistics([a], "Expected KronFit")
+        assert mean["scree"].label == "Expected KronFit"
+
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ValueError):
+            average_statistics([], "x")

@@ -1,0 +1,65 @@
+"""Tests for report rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.figures import FigureResult, FigureSeries, GraphStatistics
+from repro.evaluation.reporting import (
+    render_figure,
+    render_series_block,
+    write_report,
+)
+from repro.core.nonprivate import EstimatorResult
+from repro.kronecker.initiator import Initiator
+
+
+def _tiny_result() -> FigureResult:
+    series = {
+        name: FigureSeries("Original", np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        for name in (
+            "hop_plot",
+            "degree_distribution",
+            "scree",
+            "network_value",
+            "clustering",
+        )
+    }
+    stats = GraphStatistics(series=series)
+    estimate = EstimatorResult(
+        method="KronMom", initiator=Initiator(0.9, 0.5, 0.1), k=4, details=None
+    )
+    return FigureResult(
+        figure_number=1,
+        dataset="test-data",
+        estimates={"KronMom": estimate},
+        statistics={"Original": stats},
+    )
+
+
+class TestRendering:
+    def test_series_block_contains_label_and_pairs(self):
+        text = render_series_block(_tiny_result(), "hop_plot")
+        assert "Original" in text
+        assert "(1, 3)" in text
+
+    def test_full_figure_contains_all_blocks(self):
+        text = render_figure(_tiny_result())
+        assert "Figure 1" in text
+        assert "test-data" in text
+        assert "(a) Hop plot" in text
+        assert "(e) Average clustering" in text
+        assert "KronMom" in text
+
+    def test_write_report_creates_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "report.txt"
+        path = write_report("hello", target)
+        assert path.read_text() == "hello\n"
+
+    def test_empty_series_marked(self):
+        result = _tiny_result()
+        result.statistics["Original"].series["scree"] = FigureSeries(
+            "Original", np.array([]), np.array([])
+        )
+        text = render_series_block(result, "scree")
+        assert "(empty)" in text

@@ -1,0 +1,80 @@
+"""Integration test: run_figure end to end on a miniature dataset.
+
+The real figure runs live in benchmarks/ (they take minutes).  Here the
+dataset registry is monkeypatched so figure 4 resolves to a small SKG,
+and the whole harness — fits, synthetic sampling, five statistics,
+ensemble averaging, rendering — executes in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.evaluation.figures as figures_module
+from repro.evaluation.experiments import ExperimentConfig
+from repro.evaluation.figures import STATISTIC_NAMES, run_figure
+from repro.evaluation.reporting import render_figure
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.sampling import sample_skg
+
+
+@pytest.fixture
+def small_figure(monkeypatch):
+    graph = sample_skg(Initiator(0.9, 0.55, 0.2), 8, seed=0)
+    monkeypatch.setattr(
+        figures_module, "load_dataset", lambda name, seed=None: graph
+    )
+    config = ExperimentConfig(
+        epsilon=1.0,
+        delta=0.01,
+        realizations=3,
+        hop_sources=0,  # exact hop plots on this size
+        svd_rank=8,
+        kronfit_iterations=3,
+        seed=7,
+    )
+    return run_figure(4, config=config, include_expected=True)
+
+
+class TestRunFigureIntegration:
+    def test_all_methods_fitted(self, small_figure):
+        assert set(small_figure.estimates) == {"KronFit", "KronMom", "Private"}
+
+    def test_all_curves_present(self, small_figure):
+        labels = set(small_figure.statistics)
+        assert "Original" in labels
+        assert "Expected Private" in labels
+        assert len(labels) == 7  # original + 3 single + 3 expected
+
+    def test_every_statistic_computed(self, small_figure):
+        for stats in small_figure.statistics.values():
+            for name in STATISTIC_NAMES:
+                assert stats[name].xs.shape == stats[name].ys.shape
+
+    def test_hop_plot_scaled_correctly(self, small_figure):
+        original = small_figure.statistics["Original"]["hop_plot"]
+        assert original.ys[0] == 256  # P(0) = n for the exact plot
+
+    def test_render_includes_plots(self, small_figure):
+        text = render_figure(small_figure)
+        assert "Figure 4" in text
+        assert "'.' = overlap" in text  # ascii plots embedded
+        assert "Expected Private" in text
+
+    def test_render_without_plots_is_smaller(self, small_figure):
+        with_plots = render_figure(small_figure, plots=True)
+        without_plots = render_figure(small_figure, plots=False)
+        assert len(without_plots) < len(with_plots)
+
+    def test_invalid_figure_number(self):
+        with pytest.raises(ValueError):
+            run_figure(9)
+
+    def test_unknown_method_rejected(self, monkeypatch):
+        graph = sample_skg(Initiator(0.9, 0.5, 0.2), 6, seed=0)
+        monkeypatch.setattr(
+            figures_module, "load_dataset", lambda name, seed=None: graph
+        )
+        with pytest.raises(ValueError, match="unknown method"):
+            run_figure(4, methods=("Oracle",))

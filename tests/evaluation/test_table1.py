@@ -1,0 +1,62 @@
+"""Tests for the Table 1 harness (reduced scale for test speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import ExperimentConfig
+from repro.evaluation.table1 import Table1Row, render_table1, run_table1
+from repro.kronecker.initiator import Initiator
+
+
+@pytest.fixture(scope="module")
+def quick_rows():
+    # KronMom + Private on the smallest dataset keeps this test fast while
+    # exercising the full harness path end to end.
+    config = ExperimentConfig(kronfit_iterations=2)
+    return run_table1(
+        config=config,
+        datasets=("ca-grqc",),
+        methods=("KronMom", "Private"),
+    )
+
+
+class TestRunTable1:
+    def test_row_count(self, quick_rows):
+        assert len(quick_rows) == 2
+
+    def test_row_types(self, quick_rows):
+        for row in quick_rows:
+            assert isinstance(row, Table1Row)
+            assert isinstance(row.initiator, Initiator)
+
+    def test_methods_in_order(self, quick_rows):
+        assert [row.method for row in quick_rows] == ["KronMom", "Private"]
+
+    def test_private_near_kronmom(self, quick_rows):
+        by_method = {row.method: row.initiator for row in quick_rows}
+        assert by_method["Private"].distance(by_method["KronMom"]) < 0.2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            run_table1(datasets=("ca-grqc",), methods=("Oracle",))
+
+
+class TestRenderTable1:
+    def test_layout(self, quick_rows):
+        text = render_table1(quick_rows)
+        assert "Table 1" in text
+        assert "ca-grqc" in text
+        assert "KronMom (a, b, c)" in text
+
+    def test_truth_row_only_with_synthetic(self, quick_rows):
+        text = render_table1(quick_rows)
+        assert "synthetic truth" not in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        rows = [
+            Table1Row("ca-grqc", "KronMom", Initiator(1.0, 0.5, 0.2)),
+            Table1Row("as20", "Private", Initiator(1.0, 0.6, 0.0)),
+        ]
+        text = render_table1(rows)
+        assert "-" in text

@@ -1,0 +1,221 @@
+"""Tests for the random-graph generators (networkx used only as oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    configuration_model_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    gnm_random_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    star_graph,
+)
+from repro.stats.clustering import average_clustering
+
+
+class TestDeterministicGraphs:
+    def test_star(self):
+        graph = star_graph(6)
+        assert graph.degrees[0] == 5
+        assert np.all(graph.degrees[1:] == 1)
+
+    def test_complete(self):
+        graph = complete_graph(5)
+        assert graph.n_edges == 10
+        assert np.all(graph.degrees == 4)
+
+    def test_complete_trivial(self):
+        assert complete_graph(1).n_edges == 0
+
+    def test_cycle(self):
+        graph = cycle_graph(5)
+        assert graph.n_edges == 5
+        assert np.all(graph.degrees == 2)
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValidationError):
+            cycle_graph(2)
+
+    def test_path(self):
+        graph = path_graph(4)
+        assert graph.n_edges == 3
+        assert list(graph.degrees) == [1, 2, 2, 1]
+
+    def test_empty(self):
+        assert empty_graph(7).n_edges == 0
+
+
+class TestErdosRenyi:
+    def test_p_zero(self):
+        assert erdos_renyi_graph(50, 0.0, seed=0).n_edges == 0
+
+    def test_p_one(self):
+        graph = erdos_renyi_graph(10, 1.0, seed=0)
+        assert graph.n_edges == 45
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_graph(40, 0.2, seed=5)
+        b = erdos_renyi_graph(40, 0.2, seed=5)
+        assert a == b
+
+    def test_edge_count_near_expectation(self):
+        n, p = 300, 0.05
+        counts = [erdos_renyi_graph(n, p, seed=s).n_edges for s in range(20)]
+        expected = p * n * (n - 1) / 2
+        standard_deviation = np.sqrt(n * (n - 1) / 2 * p * (1 - p))
+        assert abs(np.mean(counts) - expected) < 3 * standard_deviation / np.sqrt(20)
+
+    def test_sparse_path_matches_distribution(self):
+        # Force the sparse G(n, m) path by exceeding the dense limit.
+        graph = erdos_renyi_graph(4000, 0.0005, seed=3)
+        expected = 0.0005 * 4000 * 3999 / 2
+        assert 0.5 * expected < graph.n_edges < 1.5 * expected
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        graph = gnm_random_graph(30, 50, seed=1)
+        assert graph.n_edges == 50
+
+    def test_dense_regime(self):
+        total = 10 * 9 // 2
+        graph = gnm_random_graph(10, total - 1, seed=2)
+        assert graph.n_edges == total - 1
+
+    def test_sparse_regime_exact_count(self):
+        graph = gnm_random_graph(5000, 800, seed=4)
+        assert graph.n_edges == 800
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValidationError):
+            gnm_random_graph(4, 10)
+
+    def test_zero_edges(self):
+        assert gnm_random_graph(5, 0, seed=0).n_edges == 0
+
+    def test_uniformity_over_pairs(self):
+        # Each of the 3 pairs of K3 should appear with equal frequency.
+        counts = {(0, 1): 0, (0, 2): 0, (1, 2): 0}
+        for seed in range(600):
+            graph = gnm_random_graph(3, 1, seed=seed)
+            counts[next(iter(graph.edge_set()))] += 1
+        values = np.array(list(counts.values()))
+        assert values.min() > 140  # expected 200 each; loose 3-sigma-ish bound
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, m = 200, 3
+        graph = barabasi_albert_graph(n, m, seed=0)
+        assert graph.n_edges == m + m * (n - m - 1)
+
+    def test_minimum_degree(self):
+        graph = barabasi_albert_graph(100, 4, seed=1)
+        assert graph.degrees.min() >= 1
+        # all arriving nodes have degree >= m
+        assert np.sort(graph.degrees)[int(0.1 * 100)] >= 1
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(2000, 3, seed=2)
+        # Hubs much larger than the median is the signature of PA.
+        assert graph.degrees.max() > 10 * np.median(graph.degrees)
+
+    def test_m_must_be_smaller_than_n(self):
+        with pytest.raises(ValidationError):
+            barabasi_albert_graph(5, 5)
+
+    def test_deterministic(self):
+        assert barabasi_albert_graph(50, 2, seed=9) == barabasi_albert_graph(50, 2, seed=9)
+
+
+class TestPowerlawCluster:
+    def test_edge_count_close_to_ba(self):
+        n, m = 300, 3
+        graph = powerlaw_cluster_graph(n, m, 0.5, seed=0)
+        assert graph.n_edges == m + m * (n - m - 1)
+
+    def test_clustering_exceeds_ba(self):
+        ba = barabasi_albert_graph(800, 4, seed=3)
+        hk = powerlaw_cluster_graph(800, 4, 0.9, seed=3)
+        assert average_clustering(hk) > 2 * average_clustering(ba)
+
+    def test_p_zero_is_still_valid_graph(self):
+        graph = powerlaw_cluster_graph(100, 2, 0.0, seed=1)
+        assert graph.n_edges == 2 + 2 * 97
+
+    def test_invalid_p(self):
+        with pytest.raises(ValidationError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+
+    def test_deterministic(self):
+        a = powerlaw_cluster_graph(60, 3, 0.6, seed=11)
+        b = powerlaw_cluster_graph(60, 3, 0.6, seed=11)
+        assert a == b
+
+
+class TestConfigurationModel:
+    def test_degrees_bounded_by_targets(self):
+        degrees = np.array([3, 3, 2, 2, 1, 1])
+        graph = configuration_model_graph(degrees, seed=0)
+        assert np.all(graph.degrees <= degrees)
+
+    def test_regular_sequence(self):
+        graph = configuration_model_graph([2] * 10, seed=4)
+        assert graph.degrees.sum() % 2 == 0
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(ValidationError):
+            configuration_model_graph([3, 2])
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValidationError):
+            configuration_model_graph([-1, 1])
+
+    def test_empty_sequence(self):
+        assert configuration_model_graph([]).n_nodes == 0
+
+
+class TestAgainstNetworkxOracle:
+    def test_ba_degree_distribution_shape(self):
+        networkx = pytest.importorskip("networkx")
+        ours = barabasi_albert_graph(1500, 3, seed=0)
+        theirs = networkx.barabasi_albert_graph(1500, 3, seed=0)
+        our_degrees = np.sort(ours.degrees)[::-1]
+        their_degrees = np.sort([d for _, d in theirs.degree()])[::-1]
+        # Same maximum-degree order of magnitude and identical edge counts.
+        assert ours.n_edges == theirs.number_of_edges()
+        assert 0.3 < our_degrees[0] / their_degrees[0] < 3.0
+
+
+@given(
+    n=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_generators_produce_simple_graphs(n, seed):
+    """No generator may emit loops or duplicate edges (Graph enforces it)."""
+    graphs = [
+        erdos_renyi_graph(n, 0.3, seed=seed),
+        gnm_random_graph(n, min(n, n * (n - 1) // 2), seed=seed),
+    ]
+    if n >= 4:
+        graphs.append(barabasi_albert_graph(n, 2, seed=seed))
+        graphs.append(powerlaw_cluster_graph(n, 2, 0.5, seed=seed))
+    for graph in graphs:
+        u, v = graph.edge_arrays
+        assert np.all(u < v)
+        assert graph.degrees.sum() == 2 * graph.n_edges

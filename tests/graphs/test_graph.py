@@ -1,0 +1,230 @@
+"""Tests for the core Graph type, including hypothesis invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError, ValidationError
+from repro.graphs import Graph
+
+
+def edge_lists(max_nodes: int = 12, max_edges: int = 40):
+    """Strategy: (n_nodes, raw edge list) with arbitrary duplicates/order."""
+    return st.integers(min_value=1, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ),
+                max_size=max_edges,
+            ),
+        )
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = Graph(0)
+        assert graph.n_nodes == 0
+        assert graph.n_edges == 0
+
+    def test_loops_dropped(self):
+        graph = Graph(3, [(0, 0), (1, 1), (0, 1)])
+        assert graph.n_edges == 1
+
+    def test_duplicates_and_mirrors_collapse(self):
+        graph = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert graph.n_edges == 1
+
+    def test_canonical_order(self):
+        graph = Graph(4, [(3, 1), (2, 0)])
+        u, v = graph.edge_arrays
+        assert list(u) == [0, 1]
+        assert list(v) == [2, 3]
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(3, [(0, 3)])
+
+    def test_negative_endpoint_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(3, [(-1, 0)])
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph(-1)
+
+    def test_non_integer_nodes_rejected(self):
+        with pytest.raises(ValidationError):
+            Graph(2.5)  # type: ignore[arg-type]
+
+    def test_non_integer_edges_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(3, np.array([[0.5, 1.0]]))
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            Graph(3, np.array([[0, 1, 2]]))
+
+
+class TestAccessors:
+    def test_degrees(self, square_with_diagonal):
+        np.testing.assert_array_equal(
+            square_with_diagonal.degrees, [3, 2, 3, 2]
+        )
+
+    def test_degree_single(self, square_with_diagonal):
+        assert square_with_diagonal.degree(0) == 3
+
+    def test_degree_invalid_node(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.degree(5)
+
+    def test_neighbors_sorted(self, square_with_diagonal):
+        np.testing.assert_array_equal(
+            square_with_diagonal.neighbors(0), [1, 2, 3]
+        )
+
+    def test_has_edge_both_orders(self, triangle):
+        assert triangle.has_edge(0, 2)
+        assert triangle.has_edge(2, 0)
+
+    def test_has_edge_absent(self, path4):
+        assert not path4.has_edge(0, 3)
+
+    def test_has_edge_self_loop_false(self, triangle):
+        assert not triangle.has_edge(1, 1)
+
+    def test_density_triangle(self, triangle):
+        assert triangle.density == 1.0
+
+    def test_density_small_graph(self):
+        assert Graph(1).density == 0.0
+
+    def test_edges_iteration(self, triangle):
+        assert list(triangle.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_adjacency_symmetric(self, square_with_diagonal):
+        dense = square_with_diagonal.adjacency.toarray()
+        np.testing.assert_array_equal(dense, dense.T)
+        assert dense.diagonal().sum() == 0
+
+    def test_edge_arrays_read_only(self, triangle):
+        u, _v = triangle.edge_arrays
+        with pytest.raises(ValueError):
+            u[0] = 5
+
+    def test_degrees_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.degrees[0] = 5
+
+
+class TestAlternateConstructors:
+    def test_from_dense_symmetrizes(self):
+        matrix = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]])
+        graph = Graph.from_dense(matrix)
+        assert graph.edge_set() == {(0, 1), (1, 2)}
+
+    def test_from_dense_drops_diagonal(self):
+        graph = Graph.from_dense(np.eye(3))
+        assert graph.n_edges == 0
+
+    def test_from_dense_rejects_non_square(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_dense(np.zeros((2, 3)))
+
+    def test_from_sparse_roundtrip(self, square_with_diagonal):
+        rebuilt = Graph.from_sparse(square_with_diagonal.adjacency)
+        assert rebuilt == square_with_diagonal
+
+    def test_from_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.karate_club_graph()
+        graph = Graph.from_networkx(nx_graph)
+        assert graph.n_nodes == nx_graph.number_of_nodes()
+        assert graph.n_edges == nx_graph.number_of_edges()
+
+    def test_to_networkx_roundtrip(self, square_with_diagonal):
+        pytest.importorskip("networkx")
+        back = Graph.from_networkx(square_with_diagonal.to_networkx())
+        assert back == square_with_diagonal
+
+    def test_from_edge_arrays_shape_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            Graph.from_edge_arrays(3, np.array([0, 1]), np.array([1]))
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert Graph(3, [(0, 1)]) == Graph(3, [(1, 0)])
+
+    def test_inequality_different_nodes(self):
+        assert Graph(3, [(0, 1)]) != Graph(4, [(0, 1)])
+
+    def test_inequality_different_edges(self):
+        assert Graph(3, [(0, 1)]) != Graph(3, [(0, 2)])
+
+    def test_hash_consistency(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(2, 1), (1, 0)])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_repr(self, triangle):
+        assert "n_nodes=3" in repr(triangle)
+        assert "n_edges=3" in repr(triangle)
+
+
+class TestEdgeFlip:
+    def test_flip_removes_existing(self, triangle):
+        flipped = triangle.with_edge_flipped(0, 1)
+        assert flipped.n_edges == 2
+        assert not flipped.has_edge(0, 1)
+
+    def test_flip_adds_missing(self, path4):
+        flipped = path4.with_edge_flipped(0, 3)
+        assert flipped.has_edge(0, 3)
+
+    def test_flip_is_involution(self, square_with_diagonal):
+        twice = square_with_diagonal.with_edge_flipped(1, 3).with_edge_flipped(1, 3)
+        assert twice == square_with_diagonal
+
+    def test_flip_rejects_loop(self, triangle):
+        with pytest.raises(ValidationError):
+            triangle.with_edge_flipped(1, 1)
+
+
+class TestGraphProperties:
+    @given(edge_lists())
+    @settings(max_examples=60)
+    def test_canonicalization_invariants(self, n_and_edges):
+        n, edges = n_and_edges
+        graph = Graph(n, edges)
+        u, v = graph.edge_arrays
+        # Canonical: u < v everywhere, lexicographically sorted, unique.
+        assert np.all(u < v)
+        keys = u * n + v
+        assert np.all(np.diff(keys) > 0) if keys.size > 1 else True
+        # Edge set matches the deduped input.
+        expected = {(min(a, b), max(a, b)) for a, b in edges if a != b}
+        assert graph.edge_set() == expected
+
+    @given(edge_lists())
+    @settings(max_examples=40)
+    def test_degree_sum_is_twice_edges(self, n_and_edges):
+        n, edges = n_and_edges
+        graph = Graph(n, edges)
+        assert int(graph.degrees.sum()) == 2 * graph.n_edges
+
+    @given(edge_lists())
+    @settings(max_examples=40)
+    def test_construction_is_idempotent(self, n_and_edges):
+        n, edges = n_and_edges
+        once = Graph(n, edges)
+        twice = Graph(n, list(once.edges()))
+        assert once == twice

@@ -1,0 +1,75 @@
+"""Failure-injection tests for edge-list IO.
+
+Production libraries live or die by how they handle malformed input;
+these tests feed the reader the kinds of damage real SNAP downloads
+exhibit (truncation, binary junk, mixed separators) and require clear
+errors or correct tolerance.
+"""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs import parse_edge_list, read_edge_list
+
+
+class TestMalformedInput:
+    def test_tabs_and_multiple_spaces_tolerated(self):
+        graph, _ = parse_edge_list("1\t2\n3   4\n")
+        assert graph.n_edges == 2
+
+    def test_windows_line_endings_tolerated(self):
+        graph, _ = parse_edge_list("1 2\r\n2 3\r\n")
+        assert graph.n_edges == 2
+
+    def test_trailing_whitespace_tolerated(self):
+        graph, _ = parse_edge_list("1 2   \n")
+        assert graph.n_edges == 1
+
+    def test_float_ids_rejected(self):
+        with pytest.raises(GraphFormatError):
+            parse_edge_list("1.5 2\n")
+
+    def test_three_columns_rejected_with_line_number(self):
+        with pytest.raises(GraphFormatError, match="line 3"):
+            parse_edge_list("1 2\n2 3\n3 4 5\n")
+
+    def test_negative_ids_accepted_as_labels(self):
+        # SNAP ids are arbitrary integers; negatives are valid labels that
+        # get densely relabelled.
+        graph, labels = parse_edge_list("-5 7\n")
+        assert graph.n_edges == 1
+        assert set(labels.values()) == {-5, 7}
+
+    def test_huge_ids_relabelled(self):
+        graph, labels = parse_edge_list(f"{10**15} {2 * 10**15}\n")
+        assert graph.n_nodes == 2
+
+
+class TestFileLevelFailures:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            read_edge_list(tmp_path / "absent.txt")
+
+    def test_corrupt_gzip(self, tmp_path):
+        path = tmp_path / "broken.txt.gz"
+        path.write_bytes(b"definitely not gzip data")
+        with pytest.raises(OSError):
+            read_edge_list(path)
+
+    def test_truncated_gzip(self, tmp_path):
+        path = tmp_path / "trunc.txt.gz"
+        payload = gzip.compress(b"1 2\n2 3\n" * 100)
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises((OSError, EOFError)):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        graph, labels = read_edge_list(path)
+        assert graph.n_nodes == 0
+        assert labels == {}

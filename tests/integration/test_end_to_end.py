@@ -1,0 +1,93 @@
+"""Integration tests: the paper's full pipeline at reduced scale.
+
+These tests exercise the exact call pattern of the evaluation benches —
+dataset -> three estimators -> synthetic graphs -> statistics — and assert
+the qualitative claims of the paper (Private ≈ KronMom; synthetic graphs
+match the original's headline statistics) rather than exact numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.nonprivate import fit_kronfit, fit_kronmom, fit_private
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.sampling import sample_skg
+from repro.stats.comparison import ks_distance
+from repro.stats.counts import matching_statistics
+
+
+@pytest.fixture(scope="module")
+def source_graph():
+    """A 4096-node SKG — large enough to be statistically meaningful."""
+    return sample_skg(Initiator(0.95, 0.55, 0.2), 12, seed=9)
+
+
+class TestEstimatorAgreement:
+    def test_all_three_estimators_roughly_agree(self, source_graph):
+        truth = Initiator(0.95, 0.55, 0.2)
+        mom = fit_kronmom(source_graph)
+        fit = fit_kronfit(
+            source_graph,
+            n_iterations=20,
+            warmup_swaps=600,
+            n_permutation_samples=3,
+            sample_spacing=100,
+            seed=0,
+        )
+        private = fit_private(source_graph, epsilon=0.2, delta=0.01, seed=0)
+        assert mom.initiator.distance(truth) < 0.1
+        assert fit.initiator.distance(truth) < 0.3
+        assert private.initiator.distance(mom.initiator) < 0.15
+
+    def test_private_synthetic_graph_matches_statistics(self, source_graph):
+        private = fit_private(source_graph, epsilon=0.2, delta=0.01, seed=1)
+        synthetic = private.sample_graph(seed=2)
+        original_stats = matching_statistics(source_graph)
+        synthetic_stats = matching_statistics(synthetic)
+        assert synthetic_stats.edges == pytest.approx(original_stats.edges, rel=0.35)
+        assert synthetic_stats.hairpins == pytest.approx(
+            original_stats.hairpins, rel=0.6
+        )
+
+    def test_degree_distributions_close(self, source_graph):
+        private = fit_private(source_graph, epsilon=0.2, delta=0.01, seed=3)
+        synthetic = private.sample_graph(seed=4)
+        distance = ks_distance(source_graph.degrees, synthetic.degrees)
+        assert distance < 0.25
+
+
+class TestPublicApiSurface:
+    def test_quickstart_flow(self):
+        graph = repro.sample_skg(repro.Initiator(0.9, 0.5, 0.2), 9, seed=0)
+        estimator = repro.PrivateKroneckerEstimator(epsilon=1.0, delta=0.01, seed=0)
+        estimate = estimator.fit(graph)
+        synthetic = estimate.sample_graph(seed=1)
+        assert synthetic.n_nodes == graph.n_nodes
+        assert "privacy budget" in estimate.describe()
+
+    def test_version_exported(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestPrivacyAccountingEndToEnd:
+    def test_ledger_composition_matches_corollary(self, source_graph):
+        estimate = fit_private(source_graph, epsilon=0.2, delta=0.01, seed=0).details
+        epsilon, delta = estimate.release.accountant.spent
+        assert epsilon == pytest.approx(0.2)
+        assert delta == pytest.approx(0.01)
+
+    def test_statistics_only_touch_graph_through_dp_releases(self, source_graph):
+        # The moment matcher input must equal the DP statistics (possibly
+        # with the documented triangle floor), never the exact counts.
+        estimate = fit_private(source_graph, epsilon=0.2, delta=0.01, seed=5).details
+        exact = matching_statistics(source_graph)
+        matched = estimate.moment_result.observed
+        assert matched.edges != exact.edges  # Laplace noise is a.s. nonzero
+        assert matched.hairpins != exact.hairpins

@@ -1,0 +1,84 @@
+"""Tests for the KronFit estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimationError
+from repro.graphs import Graph
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.kronfit import KronFitEstimator
+from repro.kronecker.sampling import sample_skg
+
+
+class TestKronFit:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        graph = sample_skg(Initiator(0.95, 0.45, 0.2), 9, seed=5)
+        estimator = KronFitEstimator(
+            n_iterations=25,
+            warmup_swaps=800,
+            n_permutation_samples=3,
+            sample_spacing=120,
+            seed=0,
+        )
+        return estimator.fit(graph)
+
+    def test_parameter_recovery(self, fitted):
+        truth = Initiator(0.95, 0.45, 0.2)
+        assert fitted.initiator.distance(truth) < 0.25
+
+    def test_result_is_canonical(self, fitted):
+        assert fitted.initiator.a >= fitted.initiator.c
+
+    def test_k_matches_graph(self, fitted):
+        assert fitted.k == 9
+
+    def test_log_likelihoods_finite(self, fitted):
+        assert all(np.isfinite(v) for v in fitted.log_likelihoods)
+
+    def test_likelihood_improves_overall(self, fitted):
+        values = fitted.log_likelihoods
+        assert max(values[-5:]) >= values[0]
+
+    def test_acceptance_rate_in_range(self, fitted):
+        assert 0.0 < fitted.acceptance_rate < 1.0
+
+    def test_trajectory_length(self, fitted):
+        assert len(fitted.trajectory) == 25
+
+
+class TestKronFitEdgeCases:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EstimationError):
+            KronFitEstimator(n_iterations=1).fit(Graph(4))
+
+    def test_pads_non_power_of_two(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        result = KronFitEstimator(
+            n_iterations=2, warmup_swaps=10, n_permutation_samples=1,
+            sample_spacing=5, seed=0
+        ).fit(graph)
+        assert result.k == 3
+
+    def test_deterministic_given_seed(self):
+        graph = sample_skg(Initiator(0.9, 0.5, 0.2), 6, seed=1)
+        config = dict(
+            n_iterations=4, warmup_swaps=50, n_permutation_samples=2,
+            sample_spacing=20,
+        )
+        first = KronFitEstimator(seed=3, **config).fit(graph)
+        second = KronFitEstimator(seed=3, **config).fit(graph)
+        assert first.initiator == second.initiator
+
+    def test_parameters_stay_in_bounds(self):
+        graph = sample_skg(Initiator(0.9, 0.5, 0.2), 6, seed=2)
+        result = KronFitEstimator(
+            n_iterations=6, warmup_swaps=50, n_permutation_samples=1,
+            sample_spacing=20, learning_rate=1.0, seed=0
+        ).fit(graph)
+        for a, b, c in result.trajectory:
+            assert 0.0 < a < 1.0
+            assert 0.0 < b < 1.0
+            assert 0.0 < c < 1.0

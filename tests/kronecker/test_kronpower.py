@@ -1,0 +1,114 @@
+"""Tests for dense Kronecker powers and the brute-force oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.kronecker.kronpower import (
+    brute_force_expected_counts,
+    edge_probability_matrix,
+    kronecker_power,
+)
+
+
+class TestKroneckerPower:
+    def test_k1_is_identity_operation(self):
+        matrix = np.array([[0.9, 0.5], [0.5, 0.1]])
+        np.testing.assert_array_equal(kronecker_power(matrix, 1), matrix)
+
+    def test_k2_matches_numpy_kron(self):
+        matrix = np.array([[0.9, 0.5], [0.5, 0.1]])
+        np.testing.assert_allclose(
+            kronecker_power(matrix, 2), np.kron(matrix, matrix)
+        )
+
+    def test_entry_formula(self):
+        # P[u, v] = prod over bit positions of theta[u_i, v_i].
+        matrix = np.array([[0.9, 0.5], [0.5, 0.1]])
+        power = kronecker_power(matrix, 3)
+        u, v = 0b101, 0b011
+        expected = matrix[1, 0] * matrix[0, 1] * matrix[1, 1]
+        assert power[u, v] == pytest.approx(expected)
+
+    def test_size_guard(self):
+        with pytest.raises(ValidationError):
+            kronecker_power(np.eye(2), 13)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            kronecker_power(np.zeros((2, 3)), 2)
+
+
+class TestEdgeProbabilityMatrix:
+    def test_zero_diagonal(self):
+        probabilities = edge_probability_matrix((0.9, 0.5, 0.1), 3)
+        assert np.all(np.diagonal(probabilities) == 0.0)
+
+    def test_symmetric(self):
+        probabilities = edge_probability_matrix((0.9, 0.5, 0.1), 3)
+        np.testing.assert_array_equal(probabilities, probabilities.T)
+
+
+class TestBruteForceCounts:
+    def test_k2_hand_check(self):
+        # A 2-node graph with a single potential edge of probability p.
+        p = 0.37
+        matrix = np.array([[0.0, p], [p, 0.0]])
+        counts = brute_force_expected_counts(matrix)
+        assert counts.edges == pytest.approx(p)
+        assert counts.hairpins == pytest.approx(0.0, abs=1e-12)
+        assert counts.tripins == pytest.approx(0.0, abs=1e-12)
+        assert counts.triangles == pytest.approx(0.0, abs=1e-12)
+
+    def test_triangle_hand_check(self):
+        # Three nodes, all pairs probability p: E[Δ] = p³, E[H] = 3p².
+        p = 0.5
+        matrix = np.full((3, 3), p)
+        np.fill_diagonal(matrix, 0.0)
+        counts = brute_force_expected_counts(matrix)
+        assert counts.edges == pytest.approx(3 * p)
+        assert counts.hairpins == pytest.approx(3 * p * p)
+        assert counts.triangles == pytest.approx(p**3)
+        assert counts.tripins == 0.0
+
+    def test_star_tripins(self):
+        # Star of 4 potential edges with probability p each around node 0:
+        # E[T] = C(4,3) p³ at the centre.
+        p = 0.6
+        matrix = np.zeros((5, 5))
+        matrix[0, 1:] = p
+        matrix[1:, 0] = p
+        counts = brute_force_expected_counts(matrix)
+        assert counts.tripins == pytest.approx(4 * p**3)
+
+    def test_monte_carlo_agreement(self, rng):
+        # Sample many graphs from an arbitrary symmetric P and compare
+        # empirical means with the analytic expectations.
+        from repro.graphs import Graph
+        from repro.stats.counts import matching_statistics
+
+        n = 8
+        probabilities = rng.random((n, n)) * 0.5
+        probabilities = (probabilities + probabilities.T) / 2
+        np.fill_diagonal(probabilities, 0.0)
+        expected = brute_force_expected_counts(probabilities)
+        totals = np.zeros(4)
+        n_samples = 3000
+        upper = np.triu_indices(n, k=1)
+        for _ in range(n_samples):
+            draws = rng.random(len(upper[0])) < probabilities[upper]
+            edges = [(int(u), int(v)) for u, v, d in zip(*upper, draws) if d]
+            totals += np.array(tuple(matching_statistics(Graph(n, edges))))
+        means = totals / n_samples
+        np.testing.assert_allclose(means, tuple(expected), rtol=0.15, atol=0.3)
+
+    def test_asymmetric_rejected(self):
+        matrix = np.array([[0.0, 0.5], [0.4, 0.0]])
+        with pytest.raises(ValidationError):
+            brute_force_expected_counts(matrix)
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValidationError):
+            brute_force_expected_counts(np.eye(3) * 0.5)

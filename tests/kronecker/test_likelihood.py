@@ -1,0 +1,141 @@
+"""Tests for the KronFit likelihood machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs import Graph
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.likelihood import (
+    PermutationSampler,
+    ProfileLikelihood,
+    degree_matched_initial_sigma,
+    edge_profiles,
+    exact_log_likelihood,
+    profile_histogram,
+)
+from repro.kronecker.sampling import sample_skg
+
+
+@pytest.fixture
+def small_skg() -> Graph:
+    return sample_skg(Initiator(0.9, 0.5, 0.2), 5, seed=3)
+
+
+class TestEdgeProfiles:
+    def test_identity_permutation_profiles(self):
+        graph = Graph(4, [(0, 3), (1, 2)])
+        z, x, o = edge_profiles(graph, np.arange(4), k=2)
+        # (0,3): bits 00 vs 11 -> z=0, x=2, o=0; (1,2): 01 vs 10 -> x=2.
+        np.testing.assert_array_equal(z, [0, 0])
+        np.testing.assert_array_equal(x, [2, 2])
+        np.testing.assert_array_equal(o, [0, 0])
+
+    def test_profiles_sum_to_k(self, small_skg):
+        k = 5
+        z, x, o = edge_profiles(small_skg, np.arange(small_skg.n_nodes), k)
+        np.testing.assert_array_equal(z + x + o, np.full(small_skg.n_edges, k))
+
+    def test_wrong_size_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            edge_profiles(Graph(3, [(0, 1)]), np.arange(3), k=2)
+
+    def test_wrong_sigma_shape_rejected(self, small_skg):
+        with pytest.raises(ValidationError):
+            edge_profiles(small_skg, np.arange(4), k=5)
+
+    def test_histogram_total_is_edge_count(self, small_skg):
+        k = 5
+        z, x, o = edge_profiles(small_skg, np.arange(small_skg.n_nodes), k)
+        histogram = profile_histogram(z, x, o, k)
+        assert histogram.sum() == small_skg.n_edges
+
+
+class TestProfileLikelihoodValue:
+    def test_matches_exact_on_sparse_graph(self, small_skg):
+        # The Taylor approximation of the non-edge term is accurate when
+        # all P_uv are small; compare against the O(N^2) exact likelihood.
+        theta = Initiator(0.6, 0.3, 0.1)
+        k = 5
+        sigma = np.arange(small_skg.n_nodes)
+        z, x, o = edge_profiles(small_skg, sigma, k)
+        likelihood = ProfileLikelihood(profile_histogram(z, x, o, k), k)
+        approximate = likelihood.log_likelihood(theta)
+        exact = exact_log_likelihood(theta, small_skg, sigma, k)
+        assert approximate == pytest.approx(exact, rel=0.02)
+
+    def test_histogram_shape_validated(self):
+        with pytest.raises(ValidationError):
+            ProfileLikelihood(np.zeros((3, 4)), k=3)
+
+    def test_likelihood_finite_at_extreme_parameters(self, small_skg):
+        k = 5
+        sigma = np.arange(small_skg.n_nodes)
+        z, x, o = edge_profiles(small_skg, sigma, k)
+        likelihood = ProfileLikelihood(profile_histogram(z, x, o, k), k)
+        assert np.isfinite(likelihood.log_likelihood(Initiator(1.0, 1.0, 1.0)))
+        assert np.isfinite(likelihood.log_likelihood(Initiator(0.0, 0.0, 0.0)))
+
+
+class TestProfileLikelihoodGradient:
+    def test_matches_finite_differences(self, small_skg):
+        theta = Initiator(0.7, 0.4, 0.2)
+        k = 5
+        sigma = np.arange(small_skg.n_nodes)
+        z, x, o = edge_profiles(small_skg, sigma, k)
+        likelihood = ProfileLikelihood(profile_histogram(z, x, o, k), k)
+        gradient = likelihood.gradient(theta)
+        step = 1e-6
+        for index, name in enumerate("abc"):
+            params = {"a": theta.a, "b": theta.b, "c": theta.c}
+            params[name] += step
+            bumped = Initiator(**params)
+            numeric = (
+                likelihood.log_likelihood(bumped) - likelihood.log_likelihood(theta)
+            ) / step
+            assert gradient[index] == pytest.approx(numeric, rel=1e-3, abs=1e-2)
+
+
+class TestPermutationSampler:
+    def test_swap_delta_matches_full_recompute(self, small_skg):
+        theta = Initiator(0.7, 0.4, 0.2)
+        sampler = PermutationSampler(small_skg, 5, theta)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            i = int(rng.integers(0, small_skg.n_nodes))
+            j = int(rng.integers(0, small_skg.n_nodes))
+            if i == j:
+                continue
+            before = sampler.edge_term()
+            delta = sampler._swap_delta(i, j)
+            sampler.sigma[i], sampler.sigma[j] = sampler.sigma[j], sampler.sigma[i]
+            after = sampler.edge_term()
+            sampler.sigma[i], sampler.sigma[j] = sampler.sigma[j], sampler.sigma[i]
+            assert delta == pytest.approx(after - before, rel=1e-9, abs=1e-9)
+
+    def test_sigma_stays_a_permutation(self, small_skg):
+        sampler = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2))
+        sampler.run(500, np.random.default_rng(1))
+        assert sorted(sampler.sigma.tolist()) == list(range(small_skg.n_nodes))
+
+    def test_acceptance_counting(self, small_skg):
+        sampler = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2))
+        sampler.run(300, np.random.default_rng(2))
+        assert 0 <= sampler.accepted <= sampler.proposed <= 300
+
+    def test_wrong_graph_size_rejected(self):
+        with pytest.raises(ValidationError):
+            PermutationSampler(Graph(3, [(0, 1)]), 2, Initiator(0.5, 0.5, 0.5))
+
+
+class TestInitialSigma:
+    def test_is_permutation(self, small_skg):
+        sigma = degree_matched_initial_sigma(small_skg, 5)
+        assert sorted(sigma.tolist()) == list(range(32))
+
+    def test_highest_degree_gets_fewest_one_bits(self, small_skg):
+        sigma = degree_matched_initial_sigma(small_skg, 5)
+        top_node = int(np.argmax(small_skg.degrees))
+        assert sigma[top_node] == 0  # id 0 has popcount 0: highest expected degree

@@ -1,0 +1,84 @@
+"""Tests for privacy-budget accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PrivacyBudgetError, ValidationError
+from repro.privacy.accountant import PrivacyAccountant
+
+
+class TestCharging:
+    def test_single_charge(self):
+        accountant = PrivacyAccountant(1.0, 0.1)
+        accountant.charge("degrees", 0.4, 0.0)
+        assert accountant.spent == (0.4, 0.0)
+        assert accountant.remaining == (pytest.approx(0.6), pytest.approx(0.1))
+
+    def test_sequential_composition_adds(self):
+        accountant = PrivacyAccountant(1.0, 0.1)
+        accountant.charge("a", 0.3, 0.02)
+        accountant.charge("b", 0.3, 0.02)
+        epsilon, delta = accountant.spent
+        assert epsilon == pytest.approx(0.6)
+        assert delta == pytest.approx(0.04)
+
+    def test_exact_budget_allowed(self):
+        accountant = PrivacyAccountant(0.2, 0.01)
+        accountant.charge("x", 0.1, 0.0)
+        accountant.charge("y", 0.1, 0.01)  # exactly exhausts both
+
+    def test_epsilon_overspend_rejected(self):
+        accountant = PrivacyAccountant(0.5)
+        accountant.charge("x", 0.4)
+        with pytest.raises(PrivacyBudgetError, match="epsilon"):
+            accountant.charge("y", 0.2)
+
+    def test_delta_overspend_rejected(self):
+        accountant = PrivacyAccountant(1.0, 0.01)
+        with pytest.raises(PrivacyBudgetError, match="delta"):
+            accountant.charge("x", 0.1, 0.02)
+
+    def test_failed_charge_not_recorded(self):
+        accountant = PrivacyAccountant(0.5)
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge("too big", 1.0)
+        assert accountant.spent == (0.0, 0.0)
+        assert len(accountant.ledger) == 0
+
+    def test_negative_charge_rejected(self):
+        accountant = PrivacyAccountant(1.0)
+        with pytest.raises(ValidationError):
+            accountant.charge("x", -0.1)
+
+    def test_many_small_charges_accumulate(self):
+        accountant = PrivacyAccountant(1.0)
+        for index in range(10):
+            accountant.charge(f"q{index}", 0.1)
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge("one too many", 0.1)
+
+
+class TestIntrospection:
+    def test_ledger_order(self):
+        accountant = PrivacyAccountant(1.0, 0.1)
+        accountant.charge("first", 0.1)
+        accountant.charge("second", 0.2, 0.05)
+        labels = [entry.label for entry in accountant.ledger]
+        assert labels == ["first", "second"]
+
+    def test_describe_mentions_entries(self):
+        accountant = PrivacyAccountant(0.2, 0.01)
+        accountant.charge("degrees", 0.1)
+        text = accountant.describe()
+        assert "degrees" in text
+        assert "epsilon=0.2" in text
+
+    def test_repr(self):
+        accountant = PrivacyAccountant(0.2, 0.01)
+        assert "entries=0" in repr(accountant)
+
+    def test_remaining_floors_at_zero(self):
+        accountant = PrivacyAccountant(0.1)
+        accountant.charge("all", 0.1)
+        assert accountant.remaining == (0.0, 0.0)

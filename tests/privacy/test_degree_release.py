@@ -1,0 +1,103 @@
+"""Tests for the Hay et al. DP degree-sequence release."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.graphs import Graph
+from repro.graphs.generators import erdos_renyi_graph
+from repro.privacy.degree_release import release_sorted_degrees
+
+
+class TestSensitivityPremise:
+    """The mechanism's calibration rests on GS(sorted degrees) <= 2."""
+
+    @given(
+        n=st.integers(min_value=2, max_value=14),
+        seed=st.integers(min_value=0, max_value=10**6),
+        edge=st.tuples(
+            st.integers(min_value=0, max_value=13),
+            st.integers(min_value=0, max_value=13),
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_edge_flip_moves_sorted_degrees_by_at_most_two(self, n, seed, edge):
+        a, b = edge
+        if a >= n or b >= n or a == b:
+            return
+        graph = erdos_renyi_graph(n, 0.4, seed=seed)
+        neighbor = graph.with_edge_flipped(a, b)
+        original = np.sort(graph.degrees)
+        flipped = np.sort(neighbor.degrees)
+        assert np.abs(original - flipped).sum() <= 2
+
+
+class TestRelease:
+    def test_monotone_output(self, er_graph):
+        release = release_sorted_degrees(er_graph, epsilon=0.5, seed=0)
+        assert np.all(np.diff(release.degrees) >= -1e-9)
+
+    def test_nonnegative_when_clipped(self, er_graph):
+        release = release_sorted_degrees(er_graph, epsilon=0.1, seed=1)
+        assert release.degrees.min() >= 0.0
+
+    def test_clip_disabled(self, er_graph):
+        release = release_sorted_degrees(
+            er_graph, epsilon=0.01, clip_negative=False, seed=2
+        )
+        assert release.degrees.min() < 0.0  # tiny epsilon -> huge noise
+
+    def test_deterministic_given_seed(self, er_graph):
+        a = release_sorted_degrees(er_graph, 0.5, seed=9)
+        b = release_sorted_degrees(er_graph, 0.5, seed=9)
+        np.testing.assert_array_equal(a.degrees, b.degrees)
+
+    def test_epsilon_recorded(self, er_graph):
+        assert release_sorted_degrees(er_graph, 0.25, seed=0).epsilon == 0.25
+
+    def test_invalid_epsilon(self, er_graph):
+        with pytest.raises(ValidationError):
+            release_sorted_degrees(er_graph, 0.0)
+
+    def test_noise_scale_tracks_epsilon(self, er_graph):
+        truth = np.sort(er_graph.degrees).astype(float)
+        errors = {}
+        for epsilon in (0.05, 5.0):
+            residuals = []
+            for seed in range(30):
+                release = release_sorted_degrees(
+                    er_graph, epsilon, constrained_inference=False,
+                    clip_negative=False, seed=seed,
+                )
+                residuals.append(np.abs(release.noisy - truth).mean())
+            errors[epsilon] = np.mean(residuals)
+        # Mean |Lap(2/eps)| = 2/eps: a 100x epsilon ratio -> ~100x error.
+        assert errors[0.05] > 20 * errors[5.0]
+
+    def test_constrained_inference_reduces_error(self, er_graph):
+        truth = np.sort(er_graph.degrees).astype(float)
+        raw_errors, inferred_errors = [], []
+        for seed in range(25):
+            raw = release_sorted_degrees(
+                er_graph, 0.1, constrained_inference=False, seed=seed
+            )
+            inferred = release_sorted_degrees(
+                er_graph, 0.1, constrained_inference=True, seed=seed
+            )
+            raw_errors.append(raw.l2_error(truth))
+            inferred_errors.append(inferred.l2_error(truth))
+        # Hay et al.'s headline result: post-processing strictly helps.
+        assert np.mean(inferred_errors) < 0.7 * np.mean(raw_errors)
+
+    def test_accuracy_in_high_epsilon_limit(self, er_graph):
+        truth = np.sort(er_graph.degrees).astype(float)
+        release = release_sorted_degrees(er_graph, epsilon=1000.0, seed=3)
+        assert release.l2_error(truth) < 0.1
+
+    def test_empty_graph(self):
+        release = release_sorted_degrees(Graph(3), epsilon=1.0, seed=0)
+        assert release.degrees.shape == (3,)

@@ -1,0 +1,183 @@
+"""Tests for local/smooth sensitivity of the triangle count.
+
+The brute-force oracle enumerates graphs within edit distance s of G and
+maximises e^{-beta*s} * LS over them — exactly Definition 4.7 — so the
+closed-form computation can be checked as a genuine smooth *upper bound*
+that is tight on graphs with room to grow.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.graphs import Graph
+from repro.graphs.generators import complete_graph, erdos_renyi_graph, star_graph
+from repro.privacy.sensitivity import (
+    local_sensitivity_at_distance,
+    local_sensitivity_triangles,
+    smooth_sensitivity_from_distance_bounds,
+    smooth_sensitivity_triangles,
+    triangle_smooth_beta,
+)
+from repro.stats.counts import count_triangles
+
+
+def brute_force_local_sensitivity(graph: Graph) -> int:
+    """max |Delta(G) - Delta(G')| over all single-edge-flip neighbours."""
+    base = count_triangles(graph)
+    best = 0
+    for a, b in itertools.combinations(range(graph.n_nodes), 2):
+        flipped = graph.with_edge_flipped(a, b)
+        best = max(best, abs(count_triangles(flipped) - base))
+    return best
+
+
+def brute_force_smooth_sensitivity(graph: Graph, beta: float, max_s: int) -> float:
+    """max over graphs within distance <= max_s of e^{-beta*s} * LS."""
+    frontier = {graph}
+    seen = {graph}
+    best = float(brute_force_local_sensitivity(graph))
+    for s in range(1, max_s + 1):
+        next_frontier = set()
+        for current in frontier:
+            for a, b in itertools.combinations(range(current.n_nodes), 2):
+                neighbor = current.with_edge_flipped(a, b)
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    next_frontier.add(neighbor)
+        for candidate in next_frontier:
+            value = math.exp(-beta * s) * brute_force_local_sensitivity(candidate)
+            best = max(best, value)
+        frontier = next_frontier
+    return best
+
+
+class TestLocalSensitivity:
+    def test_flip_changes_triangles_by_common_neighbors(self):
+        # The structural fact behind LS = max common neighbours.
+        graph = erdos_renyi_graph(12, 0.4, seed=0)
+        base = count_triangles(graph)
+        adjacency = graph.to_dense().astype(int)
+        for a in range(12):
+            for b in range(a + 1, 12):
+                common = int((adjacency[a] & adjacency[b]).sum())
+                change = abs(count_triangles(graph.with_edge_flipped(a, b)) - base)
+                assert change == common
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_brute_force(self, seed):
+        graph = erdos_renyi_graph(10, 0.45, seed=seed)
+        assert local_sensitivity_triangles(graph) == brute_force_local_sensitivity(
+            graph
+        )
+
+    def test_complete_graph(self):
+        assert local_sensitivity_triangles(complete_graph(6)) == 4  # n - 2
+
+    def test_star(self):
+        assert local_sensitivity_triangles(star_graph(7)) == 1
+
+    def test_empty(self):
+        assert local_sensitivity_triangles(Graph(5)) == 0
+
+
+class TestDistanceBounds:
+    def test_grows_linearly_until_cap(self):
+        graph = erdos_renyi_graph(10, 0.3, seed=1)
+        base = local_sensitivity_triangles(graph)
+        assert local_sensitivity_at_distance(graph, 0) == base
+        assert local_sensitivity_at_distance(graph, 3) == min(base + 3, 8)
+        assert local_sensitivity_at_distance(graph, 100) == 8  # n - 2
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValidationError):
+            local_sensitivity_at_distance(Graph(4), -1)
+
+    def test_tiny_graphs_zero(self):
+        assert local_sensitivity_at_distance(Graph(2, [(0, 1)]), 5) == 0
+
+
+class TestSmoothSensitivity:
+    def test_at_least_local_sensitivity(self):
+        graph = erdos_renyi_graph(15, 0.3, seed=2)
+        beta = 0.1
+        assert smooth_sensitivity_triangles(graph, beta) >= local_sensitivity_triangles(
+            graph
+        )
+
+    def test_upper_bounds_brute_force(self):
+        # Our closed form must dominate the true smooth sensitivity
+        # (enumerated to distance 2; deeper terms only shrink with e^-bs).
+        for seed in range(3):
+            graph = erdos_renyi_graph(6, 0.4, seed=seed)
+            beta = 0.4
+            ours = smooth_sensitivity_triangles(graph, beta)
+            brute = brute_force_smooth_sensitivity(graph, beta, max_s=2)
+            assert ours >= brute - 1e-9
+
+    def test_tight_when_linear_growth_achievable(self):
+        # On a star there is always room to add edges closing triangles, so
+        # min(c_max + s, n-2) is achieved and the bound is exact for small s.
+        graph = star_graph(6)
+        beta = 0.8  # strong decay: optimum at very small s
+        ours = smooth_sensitivity_triangles(graph, beta)
+        brute = brute_force_smooth_sensitivity(graph, beta, max_s=2)
+        assert ours == pytest.approx(brute, rel=1e-9)
+
+    def test_decreasing_in_beta(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=3)
+        values = [
+            smooth_sensitivity_triangles(graph, beta) for beta in (0.01, 0.1, 1.0)
+        ]
+        assert values[0] >= values[1] >= values[2]
+
+    def test_cap_respected(self):
+        graph = erdos_renyi_graph(12, 0.5, seed=4)
+        assert smooth_sensitivity_triangles(graph, 1e-9) <= 10  # n - 2
+
+    def test_small_graph_zero(self):
+        assert smooth_sensitivity_triangles(Graph(2, [(0, 1)]), 0.5) == 0.0
+
+
+class TestDistanceBoundMaximisation:
+    @given(
+        base=st.integers(min_value=0, max_value=50),
+        cap=st.integers(min_value=1, max_value=200),
+        beta=st.floats(min_value=1e-3, max_value=2.0),
+    )
+    @settings(max_examples=80)
+    def test_closed_form_matches_scan(self, base, cap, beta):
+        closed = smooth_sensitivity_from_distance_bounds(base, beta, cap)
+        scan = max(
+            math.exp(-beta * s) * min(base + s, cap) for s in range(0, cap + 2)
+        )
+        assert closed == pytest.approx(scan, rel=1e-9, abs=1e-12)
+
+    def test_base_above_cap(self):
+        assert smooth_sensitivity_from_distance_bounds(10, 0.5, 5) == 5.0
+
+    def test_zero_cap(self):
+        assert smooth_sensitivity_from_distance_bounds(3, 0.5, 0) == 0.0
+
+
+class TestBetaCalibration:
+    def test_paper_formula(self):
+        beta = triangle_smooth_beta(0.2, 0.01)
+        assert beta == pytest.approx(0.2 / (2 * math.log(200)))
+
+    def test_delta_bounds(self):
+        with pytest.raises(ValidationError):
+            triangle_smooth_beta(0.2, 0.0)
+        with pytest.raises(ValidationError):
+            triangle_smooth_beta(0.2, 1.0)
+
+    def test_epsilon_positive(self):
+        with pytest.raises(ValidationError):
+            triangle_smooth_beta(0.0, 0.01)

@@ -1,0 +1,67 @@
+"""Tests for the combined matching-statistics release (Algorithm 1, steps 1-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import erdos_renyi_graph
+from repro.privacy.stats_release import release_matching_statistics
+from repro.stats.counts import matching_statistics
+
+
+class TestComposition:
+    def test_ledger_totals(self, er_graph):
+        release = release_matching_statistics(er_graph, 0.2, 0.01, seed=0)
+        assert release.epsilon == pytest.approx(0.2)
+        assert release.delta == pytest.approx(0.01)
+        assert len(release.accountant.ledger) == 2
+
+    def test_even_split_by_default(self, er_graph):
+        release = release_matching_statistics(er_graph, 0.2, 0.01, seed=0)
+        entries = release.accountant.ledger
+        assert entries[0].epsilon == pytest.approx(0.1)
+        assert entries[1].epsilon == pytest.approx(0.1)
+        assert entries[0].delta == 0.0
+        assert entries[1].delta == pytest.approx(0.01)
+
+    def test_custom_degree_share(self, er_graph):
+        release = release_matching_statistics(
+            er_graph, 1.0, 0.01, degree_share=0.75, seed=0
+        )
+        entries = release.accountant.ledger
+        assert entries[0].epsilon == pytest.approx(0.75)
+        assert entries[1].epsilon == pytest.approx(0.25)
+
+    def test_degenerate_share_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            release_matching_statistics(er_graph, 1.0, 0.01, degree_share=1.0, seed=0)
+
+
+class TestAccuracy:
+    def test_converges_to_exact_statistics_at_high_epsilon(self, er_graph):
+        exact = matching_statistics(er_graph)
+        release = release_matching_statistics(er_graph, 10_000.0, 0.0001, seed=1)
+        noisy = release.statistics
+        assert noisy.edges == pytest.approx(exact.edges, rel=0.01)
+        assert noisy.hairpins == pytest.approx(exact.hairpins, rel=0.02)
+        assert noisy.tripins == pytest.approx(exact.tripins, rel=0.03)
+        assert noisy.triangles == pytest.approx(exact.triangles, rel=0.05, abs=2.0)
+
+    def test_edges_unbiased_at_moderate_epsilon(self, er_graph):
+        exact = matching_statistics(er_graph)
+        estimates = [
+            release_matching_statistics(er_graph, 1.0, 0.01, seed=s).statistics.edges
+            for s in range(50)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact.edges, rel=0.05)
+
+    def test_deterministic_given_seed(self, er_graph):
+        a = release_matching_statistics(er_graph, 0.2, 0.01, seed=3)
+        b = release_matching_statistics(er_graph, 0.2, 0.01, seed=3)
+        assert a.statistics == b.statistics
+
+    def test_sub_releases_exposed(self, er_graph):
+        release = release_matching_statistics(er_graph, 0.2, 0.01, seed=0)
+        assert release.degree_release.degrees.shape == (er_graph.n_nodes,)
+        assert release.triangle_release.noise_scale > 0

@@ -1,0 +1,76 @@
+"""Tests for the (ε, δ)-DP triangle release."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs import Graph
+from repro.graphs.generators import erdos_renyi_graph
+from repro.privacy.triangles import release_triangle_count
+from repro.stats.counts import count_triangles
+
+
+class TestRelease:
+    def test_unbiased_over_seeds(self, er_graph):
+        truth = count_triangles(er_graph)
+        draws = [
+            release_triangle_count(er_graph, 1.0, 0.01, seed=s).value
+            for s in range(400)
+        ]
+        scale = release_triangle_count(er_graph, 1.0, 0.01, seed=0).noise_scale
+        standard_error = np.sqrt(2 * scale**2 / len(draws))
+        assert np.mean(draws) == pytest.approx(truth, abs=5 * standard_error)
+
+    def test_noise_scale_formula(self, er_graph):
+        release = release_triangle_count(er_graph, 0.5, 0.01, seed=0)
+        assert release.noise_scale == pytest.approx(
+            2 * release.smooth_sensitivity / 0.5
+        )
+
+    def test_beta_matches_calibration(self, er_graph):
+        release = release_triangle_count(er_graph, 0.4, 0.05, seed=0)
+        assert release.beta == pytest.approx(0.4 / (2 * np.log(2 / 0.05)))
+
+    def test_higher_epsilon_means_less_noise(self, er_graph):
+        low = release_triangle_count(er_graph, 0.1, 0.01, seed=0)
+        high = release_triangle_count(er_graph, 10.0, 0.01, seed=0)
+        assert high.noise_scale < low.noise_scale
+
+    def test_deterministic_given_seed(self, er_graph):
+        a = release_triangle_count(er_graph, 0.5, 0.01, seed=7)
+        b = release_triangle_count(er_graph, 0.5, 0.01, seed=7)
+        assert a.value == b.value
+
+    def test_parameters_recorded(self, er_graph):
+        release = release_triangle_count(er_graph, 0.3, 0.02, seed=0)
+        assert release.epsilon == 0.3
+        assert release.delta == 0.02
+
+    def test_triangle_free_graph_zero_scale_exact(self):
+        # A 2-node graph has zero smooth sensitivity: no noise needed.
+        graph = Graph(2, [(0, 1)])
+        release = release_triangle_count(graph, 0.5, 0.01, seed=0)
+        assert release.value == 0.0
+        assert release.noise_scale == 0.0
+
+    def test_invalid_epsilon(self, er_graph):
+        with pytest.raises(ValidationError):
+            release_triangle_count(er_graph, 0.0, 0.01)
+
+    def test_invalid_delta(self, er_graph):
+        with pytest.raises(ValidationError):
+            release_triangle_count(er_graph, 0.5, 0.0)
+
+    def test_accuracy_improves_with_epsilon(self):
+        graph = erdos_renyi_graph(150, 0.1, seed=0)
+        truth = count_triangles(graph)
+        errors = {}
+        for epsilon in (0.1, 10.0):
+            residuals = [
+                abs(release_triangle_count(graph, epsilon, 0.01, seed=s).value - truth)
+                for s in range(40)
+            ]
+            errors[epsilon] = np.mean(residuals)
+        assert errors[10.0] < errors[0.1]

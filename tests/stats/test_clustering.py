@@ -1,0 +1,69 @@
+"""Tests for clustering coefficients."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+from repro.graphs.generators import complete_graph, erdos_renyi_graph, star_graph
+from repro.stats.clustering import (
+    average_clustering,
+    clustering_by_degree,
+    local_clustering,
+)
+
+
+class TestLocalClustering:
+    def test_triangle_all_ones(self, triangle):
+        np.testing.assert_array_equal(local_clustering(triangle), [1, 1, 1])
+
+    def test_star_all_zero(self):
+        np.testing.assert_array_equal(local_clustering(star_graph(5)), np.zeros(5))
+
+    def test_square_with_diagonal(self, square_with_diagonal):
+        coefficients = local_clustering(square_with_diagonal)
+        np.testing.assert_allclose(coefficients, [2 / 3, 1.0, 2 / 3, 1.0])
+
+    def test_degree_one_nodes_zero(self, path4):
+        coefficients = local_clustering(path4)
+        assert coefficients[0] == 0.0
+        assert coefficients[3] == 0.0
+
+
+class TestAverageClustering:
+    def test_complete_graph_is_one(self, k5):
+        assert average_clustering(k5) == pytest.approx(1.0)
+
+    def test_matches_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        graph = erdos_renyi_graph(100, 0.08, seed=4)
+        expected = networkx.average_clustering(graph.to_networkx())
+        assert average_clustering(graph) == pytest.approx(expected, rel=1e-9)
+
+    def test_eligible_only_variant(self, path4):
+        # All eligible (degree>=2) nodes on a path have zero clustering.
+        assert average_clustering(path4, count_low_degree=False) == 0.0
+
+    def test_empty_graph(self):
+        assert average_clustering(Graph(0)) == 0.0
+
+    def test_no_eligible_nodes(self):
+        graph = Graph(2, [(0, 1)])
+        assert average_clustering(graph, count_low_degree=False) == 0.0
+
+
+class TestClusteringByDegree:
+    def test_square_with_diagonal(self, square_with_diagonal):
+        degrees, means = clustering_by_degree(square_with_diagonal)
+        np.testing.assert_array_equal(degrees, [2, 3])
+        np.testing.assert_allclose(means, [1.0, 2 / 3])
+
+    def test_excludes_degree_below_two(self, path4):
+        degrees, _means = clustering_by_degree(path4)
+        assert degrees.min() >= 2
+
+    def test_empty_when_no_eligible_nodes(self):
+        degrees, means = clustering_by_degree(Graph(3, [(0, 1)]))
+        assert degrees.size == 0
+        assert means.size == 0

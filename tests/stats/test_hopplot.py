@@ -1,0 +1,84 @@
+"""Tests for hop-plot computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs import Graph
+from repro.graphs.generators import complete_graph, path_graph
+from repro.stats.hopplot import effective_diameter, hop_plot
+
+
+class TestExactHopPlot:
+    def test_path_graph(self):
+        hops, pairs = hop_plot(path_graph(4))
+        # ordered pairs at distance <= h, plus the 4 self pairs
+        np.testing.assert_array_equal(hops, [0, 1, 2, 3])
+        np.testing.assert_array_equal(pairs, [4, 4 + 6, 4 + 10, 4 + 12])
+
+    def test_complete_graph_saturates_at_one_hop(self):
+        hops, pairs = hop_plot(complete_graph(5))
+        np.testing.assert_array_equal(hops, [0, 1])
+        assert pairs[-1] == 25  # all ordered pairs incl. self
+
+    def test_disconnected_graph_never_reaches_all_pairs(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        _hops, pairs = hop_plot(graph)
+        assert pairs[-1] == 4 + 4  # self pairs + 2 ordered pairs per edge
+
+    def test_monotone_nondecreasing(self, er_graph):
+        _hops, pairs = hop_plot(er_graph)
+        assert np.all(np.diff(pairs) >= 0)
+
+    def test_h0_equals_n(self, er_graph):
+        _hops, pairs = hop_plot(er_graph)
+        assert pairs[0] == er_graph.n_nodes
+
+    def test_max_hops_truncates(self):
+        hops, _pairs = hop_plot(path_graph(10), max_hops=2)
+        assert hops[-1] == 2
+
+    def test_empty_graph(self):
+        hops, pairs = hop_plot(Graph(0))
+        assert pairs[0] == 0
+
+
+class TestSampledHopPlot:
+    def test_unbiased_on_vertex_transitive_graph(self):
+        # On a complete graph every source is identical, so any sample size
+        # reproduces the exact counts after scaling.
+        graph = complete_graph(40)
+        _h_exact, exact = hop_plot(graph)
+        _h_sampled, sampled = hop_plot(graph, n_sources=10, seed=0)
+        np.testing.assert_allclose(sampled, exact)
+
+    def test_close_to_exact_on_er(self, er_graph):
+        _h, exact = hop_plot(er_graph)
+        _h2, sampled = hop_plot(er_graph, n_sources=120, seed=1)
+        length = min(exact.size, sampled.size)
+        ratio = sampled[:length][-1] / exact[:length][-1]
+        assert 0.8 < ratio < 1.2
+
+    def test_source_count_validation(self, er_graph):
+        with pytest.raises(ValidationError):
+            hop_plot(er_graph, n_sources=0)
+
+
+class TestEffectiveDiameter:
+    def test_path_graph_value(self):
+        diameter = effective_diameter(path_graph(2))
+        assert diameter <= 1.0
+
+    def test_longer_path_has_larger_diameter(self):
+        short = effective_diameter(path_graph(5))
+        long = effective_diameter(path_graph(50))
+        assert long > short
+
+    def test_invalid_quantile(self, er_graph):
+        with pytest.raises(ValidationError):
+            effective_diameter(er_graph, quantile=1.5)
+
+    def test_empty_graph(self):
+        assert effective_diameter(Graph(3)) == 0.0

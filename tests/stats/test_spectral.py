@@ -1,0 +1,72 @@
+"""Tests for spectral statistics (scree plot and network values)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graphs import Graph
+from repro.graphs.generators import complete_graph, erdos_renyi_graph, star_graph
+from repro.stats.spectral import network_values, singular_values
+
+
+class TestSingularValues:
+    def test_star_top_value(self):
+        # The star K_{1,n-1} has largest singular value sqrt(n-1).
+        values = singular_values(star_graph(10), k=3)
+        assert values[0] == pytest.approx(3.0, rel=1e-6)
+
+    def test_complete_graph_spectrum(self):
+        # K_n adjacency has eigenvalues n-1 and -1; singular values follow.
+        values = singular_values(complete_graph(6), k=6)
+        assert values[0] == pytest.approx(5.0, rel=1e-6)
+        assert values[1] == pytest.approx(1.0, rel=1e-6)
+
+    def test_descending_order(self, er_graph):
+        values = singular_values(er_graph, k=10)
+        assert np.all(np.diff(values) <= 1e-9)
+
+    def test_sparse_matches_dense(self):
+        graph = erdos_renyi_graph(120, 0.08, seed=2)
+        sparse = singular_values(graph, k=6)
+        dense = np.linalg.svd(graph.to_dense().astype(float), compute_uv=False)[:6]
+        np.testing.assert_allclose(sparse, dense, rtol=1e-6, atol=1e-8)
+
+    def test_k_larger_than_graph(self):
+        values = singular_values(complete_graph(4), k=50)
+        assert values.size == 4
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValidationError):
+            singular_values(Graph(0))
+
+    def test_edgeless_graph_zero_spectrum(self):
+        values = singular_values(Graph(5), k=3)
+        np.testing.assert_array_equal(values, np.zeros(3))
+
+    def test_invalid_k(self, er_graph):
+        with pytest.raises(ValidationError):
+            singular_values(er_graph, k=0)
+
+
+class TestNetworkValues:
+    def test_length_is_node_count(self, er_graph):
+        assert network_values(er_graph, k=5).size == er_graph.n_nodes
+
+    def test_sorted_descending_absolute(self, er_graph):
+        values = network_values(er_graph, k=5)
+        assert np.all(np.diff(values) <= 1e-12)
+        assert np.all(values >= 0)
+
+    def test_complete_graph_uniform_principal_vector(self):
+        # K6's top eigenvalue (5) is simple with a uniform eigenvector, so
+        # every network-value component is 1/sqrt(6).  (A star would be a
+        # bad test subject: bipartite graphs have degenerate +/- singular
+        # pairs, leaving the singular basis ambiguous.)
+        values = network_values(complete_graph(6), k=3)
+        np.testing.assert_allclose(values, np.full(6, 1 / np.sqrt(6)), rtol=1e-6)
+
+    def test_unit_norm(self, er_graph):
+        values = network_values(er_graph, k=5)
+        assert np.linalg.norm(values) == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,37 @@
+"""Tests for the one-call graph summary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph
+from repro.stats.summary import summarize
+
+
+class TestSummarize:
+    def test_triangle(self, triangle):
+        summary = summarize(triangle)
+        assert summary.n_nodes == 3
+        assert summary.n_edges == 3
+        assert summary.triangles == 1
+        assert summary.hairpins == 3
+        assert summary.tripins == 0
+        assert summary.max_degree == 2
+        assert summary.mean_degree == pytest.approx(2.0)
+        assert summary.average_clustering == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        summary = summarize(Graph(0))
+        assert summary.max_degree == 0
+        assert summary.mean_degree == 0.0
+
+    def test_render_contains_all_fields(self, square_with_diagonal):
+        text = summarize(square_with_diagonal).render()
+        for token in ("nodes", "edges", "hairpins", "tripins", "triangles",
+                      "max degree", "mean degree", "avg clustering"):
+            assert token in text
+
+    def test_frozen(self, triangle):
+        summary = summarize(triangle)
+        with pytest.raises(AttributeError):
+            summary.n_nodes = 5  # type: ignore[misc]

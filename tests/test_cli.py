@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import Graph, write_edge_list
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    path = tmp_path / "toy.txt"
+    graph = Graph(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5)])
+    write_edge_list(graph, path)
+    return path
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("ca-grqc", "ca-hepth", "as20", "synthetic-kronecker"):
+            assert name in output
+
+
+class TestSummarize:
+    def test_from_file(self, edge_list_file, capsys):
+        assert main(["summarize", str(edge_list_file)]) == 0
+        output = capsys.readouterr().out
+        assert "triangles           1" in output
+
+    def test_unknown_input(self, capsys):
+        assert main(["summarize", "no-such-thing"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFit:
+    def test_private_fit_prints_ledger(self, edge_list_file, capsys):
+        code = main(
+            [
+                "fit",
+                str(edge_list_file),
+                "--method",
+                "private",
+                "--epsilon",
+                "1.0",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "private SKG estimate" in output
+        assert "privacy budget" in output
+
+    def test_kronmom_fit(self, edge_list_file, capsys):
+        assert main(["fit", str(edge_list_file), "--method", "kronmom"]) == 0
+        output = capsys.readouterr().out
+        assert "KronMom estimate" in output
+
+    def test_kronfit_fit(self, edge_list_file, capsys):
+        code = main(
+            [
+                "fit",
+                str(edge_list_file),
+                "--method",
+                "kronfit",
+                "--kronfit-iterations",
+                "2",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "KronFit estimate" in capsys.readouterr().out
+
+
+class TestRelease:
+    def test_package_contents(self, edge_list_file, tmp_path, capsys):
+        out_dir = tmp_path / "pkg"
+        code = main(
+            [
+                "release",
+                str(edge_list_file),
+                "--out",
+                str(out_dir),
+                "--epsilon",
+                "1.0",
+                "--samples",
+                "2",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        parameter = json.loads((out_dir / "private_initiator.json").read_text())
+        assert set(parameter) == {"model", "a", "b", "c", "k", "epsilon", "delta"}
+        assert (out_dir / "privacy_ledger.txt").exists()
+        assert (out_dir / "synthetic_0.txt").exists()
+        assert (out_dir / "synthetic_1.txt").exists()
+
+
+class TestTable1Command:
+    def test_reduced_methods_to_file(self, tmp_path, capsys, monkeypatch):
+        # KronMom-only keeps this CLI path fast while covering the writer.
+        monkeypatch.setenv("REPRO_KRONFIT_ITERATIONS", "1")
+        target = tmp_path / "t1.txt"
+        code = main(["table1", "--methods", "KronMom", "--out", str(target)])
+        assert code == 0
+        content = target.read_text()
+        assert "Table 1" in content
+        assert "KronMom (a, b, c)" in content
+        assert "KronFit" not in content
+
+
+class TestSample:
+    def test_to_stdout(self, capsys):
+        code = main(
+            ["sample", "--a", "0.9", "--b", "0.5", "--c", "0.2", "-k", "5",
+             "--seed", "0"]
+        )
+        assert code == 0
+        assert "nodes               32" in capsys.readouterr().out
+
+    def test_to_file(self, tmp_path, capsys):
+        target = tmp_path / "sampled.txt"
+        code = main(
+            ["sample", "--a", "0.9", "--b", "0.5", "--c", "0.2", "-k", "4",
+             "--seed", "1", "--out", str(target)]
+        )
+        assert code == 0
+        assert target.exists()
+
+    def test_invalid_parameter_rejected(self, capsys):
+        code = main(
+            ["sample", "--a", "1.5", "--b", "0.5", "--c", "0.2", "-k", "4"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

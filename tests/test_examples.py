@@ -1,0 +1,72 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least import cleanly and expose ``main``; the two
+fast ones run end to end.  (The heavier scenarios — the ε sweep and the
+epidemic study — are exercised manually and by the benches; running them
+here would dominate the suite's runtime.)
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "private_release_workflow",
+    "estimator_comparison",
+    "epsilon_utility_tradeoff",
+    "synthetic_epidemic_study",
+    "moment_formula_check",
+]
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImportable:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_and_exposes_main(self, name):
+        module = _load_example(name)
+        assert callable(module.main)
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_has_module_docstring(self, name):
+        module = _load_example(name)
+        assert module.__doc__ and len(module.__doc__) > 50
+
+
+class TestFastExamplesRun:
+    def test_quickstart(self, capsys):
+        _load_example("quickstart").main()
+        output = capsys.readouterr().out
+        assert "original graph" in output
+        assert "synthetic graph (shareable)" in output
+        assert "privacy budget" in output
+
+    def test_moment_formula_check(self, capsys):
+        _load_example("moment_formula_check").main(0.9, 0.5, 0.2, 4)
+        output = capsys.readouterr().out
+        assert "machine precision" in output
+
+    def test_sir_simulation_unit(self):
+        # The epidemic example's simulator, on a tiny graph.
+        module = _load_example("synthetic_epidemic_study")
+        from repro.graphs.generators import barabasi_albert_graph
+
+        graph = barabasi_albert_graph(100, 3, seed=0)
+        summary = module.simulate_sir(graph, seed=0)
+        assert 0.0 < summary["attack_rate"] <= 1.0
+        assert summary["peak_infected_fraction"] <= summary["attack_rate"]
+        assert summary["time_to_peak"] >= 0

@@ -1,0 +1,84 @@
+"""Tests for the ASCII scatter renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.asciiplot import MARKERS, ascii_scatter
+
+
+class TestAsciiScatter:
+    def test_basic_rendering(self):
+        plot = ascii_scatter(
+            {"curve": ([1, 10, 100], [100, 10, 1])}, title="My plot"
+        )
+        assert plot.startswith("My plot")
+        assert "o curve" in plot
+        assert "o" in plot.splitlines()[1]
+
+    def test_two_series_distinct_markers(self):
+        plot = ascii_scatter(
+            {
+                "first": ([1, 10], [1, 10]),
+                "second": ([1, 10], [10, 1]),
+            }
+        )
+        assert "o first" in plot
+        assert "+ second" in plot
+
+    def test_overlap_marked_with_dot(self):
+        plot = ascii_scatter(
+            {
+                "a": ([1.0], [1.0]),
+                "b": ([1.0], [1.0]),
+            }
+        )
+        body = "\n".join(plot.splitlines()[:-3])
+        assert "." in body
+
+    def test_nonpositive_dropped_on_log_axes(self):
+        plot = ascii_scatter({"x": ([0, 1, 10], [5, -1, 10])})
+        assert "(no positive data to plot)" not in plot
+
+    def test_all_nonpositive_degrades_gracefully(self):
+        plot = ascii_scatter({"x": ([0, -1], [0, -2])})
+        assert "(no positive data to plot)" in plot
+
+    def test_linear_x_axis(self):
+        # Hop plots: x = 0, 1, 2 ... must survive log_y-only mode.
+        plot = ascii_scatter(
+            {"hops": ([0, 1, 2, 3], [10, 100, 1000, 10000])}, log_x=False
+        )
+        assert "hops" in plot
+
+    def test_constant_series(self):
+        plot = ascii_scatter({"flat": ([1, 10, 100], [5, 5, 5])})
+        assert "flat" in plot
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_scatter({"bad": ([1, 2], [1])})
+
+    def test_tiny_plot_area_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_scatter({"x": ([1], [1])}, width=4, height=3)
+
+    def test_dimensions_respected(self):
+        plot = ascii_scatter({"x": ([1, 100], [1, 100])}, width=30, height=8)
+        body_lines = [line for line in plot.splitlines() if "|" in line]
+        assert len(body_lines) == 8
+        assert all(len(line.split("|", 1)[1]) <= 30 for line in body_lines)
+
+    def test_marker_cycle_wraps(self):
+        series = {f"series-{i}": ([1, 10], [1, 10]) for i in range(10)}
+        plot = ascii_scatter(series)
+        assert f"{MARKERS[0]} series-0" in plot
+        assert f"{MARKERS[1]} series-9" in plot  # 9 % 8 == 1
+
+    def test_monotone_series_renders_monotone(self):
+        # The marker for the largest x must sit in the rightmost column.
+        plot = ascii_scatter({"up": ([1, 10, 100], [1, 10, 100])}, width=20, height=6)
+        top_row = plot.splitlines()[0]
+        assert top_row.rstrip().endswith("o")

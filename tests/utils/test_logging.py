@@ -1,0 +1,38 @@
+"""Tests for the library logging convention."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.utils.logging import get_logger
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        logger = get_logger("mymodule")
+        assert logger.name == "repro.mymodule"
+
+    def test_repro_prefixed_names_unchanged(self):
+        logger = get_logger("repro.kronecker.kronfit")
+        assert logger.name == "repro.kronecker.kronfit"
+
+    def test_returns_standard_logger(self):
+        assert isinstance(get_logger("x"), logging.Logger)
+
+    def test_no_handlers_attached(self):
+        # The library must not configure logging; that's the app's job.
+        logger = get_logger("handlerless-test")
+        assert logger.handlers == []
+
+    def test_kronfit_logs_debug_messages(self, caplog):
+        from repro.kronecker.kronfit import KronFitEstimator
+        from repro.kronecker.initiator import Initiator
+        from repro.kronecker.sampling import sample_skg
+
+        graph = sample_skg(Initiator(0.9, 0.5, 0.2), 5, seed=0)
+        with caplog.at_level(logging.DEBUG, logger="repro.kronecker.kronfit"):
+            KronFitEstimator(
+                n_iterations=1, warmup_swaps=5, n_permutation_samples=1,
+                sample_spacing=5, seed=0,
+            ).fit(graph)
+        assert any("kronfit iter" in record.message for record in caplog.records)

@@ -1,0 +1,62 @@
+"""Tests for the RNG normalisation policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=8)
+        b = as_generator(42).integers(0, 1_000_000, size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=8)
+        b = as_generator(2).integers(0, 1_000_000, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_is_identity(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+    def test_seed_sequence_accepted(self):
+        sequence = np.random.SeedSequence(99)
+        generator = as_generator(sequence)
+        assert isinstance(generator, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(7, 3)
+        draws = [g.integers(0, 2**60) for g in children]
+        assert len(set(draws)) == 3
+
+    def test_reproducible_from_same_seed(self):
+        first = [g.integers(0, 2**60) for g in spawn_generators(11, 4)]
+        second = [g.integers(0, 2**60) for g in spawn_generators(11, 4)]
+        assert first == second
+
+    def test_spawning_from_generator_advances_parent(self):
+        parent = np.random.default_rng(3)
+        spawn_generators(parent, 2)
+        # The parent stream was consumed, so further spawns differ.
+        other = spawn_generators(parent, 2)
+        first_draws = [g.integers(0, 2**60) for g in other]
+        assert len(set(first_draws)) == 2

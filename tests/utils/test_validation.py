@@ -1,0 +1,95 @@
+"""Tests for argument validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.validation import (
+    check_in_unit_interval,
+    check_integer,
+    check_nonnegative,
+    check_positive,
+    check_probability_matrix,
+)
+
+
+class TestUnitInterval:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_boundary_and_interior(self, value):
+        assert check_in_unit_interval(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan"), float("inf")])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValidationError):
+            check_in_unit_interval(value, "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_in_unit_interval(True, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError):
+            check_in_unit_interval("half", "p")
+
+    def test_error_message_names_argument(self):
+        with pytest.raises(ValidationError, match="my_parameter"):
+            check_in_unit_interval(2.0, "my_parameter")
+
+
+class TestPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan")])
+    def test_rejects(self, value):
+        with pytest.raises(ValidationError):
+            check_positive(value, "x")
+
+
+class TestNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative(-1e-9, "x")
+
+
+class TestInteger:
+    def test_accepts_python_int(self):
+        assert check_integer(5, "n") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_integer(np.int64(5), "n") == 5
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_integer(True, "n")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_integer(5.0, "n")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValidationError):
+            check_integer(0, "n", minimum=1)
+
+
+class TestProbabilityMatrix:
+    def test_accepts_valid(self):
+        matrix = check_probability_matrix([[0.5, 1.0], [0.0, 0.25]], "m")
+        assert matrix.dtype == np.float64
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            check_probability_matrix(np.zeros((2, 3)), "m")
+
+    def test_rejects_out_of_range_entries(self):
+        with pytest.raises(ValidationError):
+            check_probability_matrix([[0.5, 1.5], [0.0, 0.2]], "m")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_probability_matrix([[float("nan"), 0.0], [0.0, 0.0]], "m")
