@@ -6,6 +6,11 @@ graphs from all three estimators track the original's series, with the
 private estimator comparable to the non-private ones.  The assertion
 metric is the mean |log10| gap between each synthetic series and the
 original series (the curves are compared on log axes in the paper).
+
+The "Expected" ensembles inside :func:`repro.evaluation.figures.run_figure`
+execute through :mod:`repro.runtime`, so ``REPRO_N_JOBS`` and
+``REPRO_CACHE_DIR`` parallelize and memoize the dominant cost of the
+figure benches without changing their results.
 """
 
 from __future__ import annotations

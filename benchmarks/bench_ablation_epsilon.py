@@ -6,6 +6,11 @@ For each ε the bench runs Algorithm 1 with several noise seeds and
 reports the median max-abs parameter distance to the non-private KronMom
 fit.  Utility must improve monotonically-ish with ε and be good at the
 paper's ε = 0.2.
+
+The (ε, seed) and (policy, seed) grids are independent trials, so they
+run through :mod:`repro.runtime` and honour ``REPRO_N_JOBS`` /
+``REPRO_CACHE_DIR``.  Each trial keeps the historical integer noise seed,
+so the reported medians are bit-identical to the serial original.
 """
 
 from __future__ import annotations
@@ -14,7 +19,10 @@ import numpy as np
 
 from repro.core.estimator import PrivateKroneckerEstimator
 from repro.core.nonprivate import fit_kronmom
+from repro.evaluation.experiments import default_config
 from repro.graphs.datasets import load_dataset
+from repro.kronecker.initiator import Initiator
+from repro.runtime import TrialSpec, run_trials
 from repro.utils.tables import TextTable
 
 EPSILONS = (0.05, 0.1, 0.2, 0.5, 1.0, 10.0)
@@ -22,24 +30,64 @@ SEEDS = range(5)
 DELTA = 0.01
 
 
-def _sweep(graph, reference):
-    medians = {}
-    for epsilon in EPSILONS:
-        distances = [
-            PrivateKroneckerEstimator(epsilon, DELTA, seed=seed)
-            .fit(graph)
-            .initiator.distance(reference)
-            for seed in SEEDS
-        ]
-        medians[epsilon] = float(np.median(distances))
-    return medians
+def _distance_trial(
+    rng,
+    *,
+    dataset: str,
+    epsilon: float,
+    delta: float,
+    triangle_floor: str,
+    reference: tuple,
+) -> float:
+    """Distance of one noisy Algorithm 1 fit to the non-private reference."""
+    graph = load_dataset(dataset)
+    estimate = PrivateKroneckerEstimator(
+        epsilon, delta, triangle_floor=triangle_floor, seed=rng
+    ).fit(graph)
+    return float(estimate.initiator.distance(Initiator(*reference)))
+
+
+def _median_distances(grid, dataset, reference, *, config):
+    """Median trial distance per grid point; trials fan through the engine."""
+    specs = [
+        TrialSpec(
+            fn=_distance_trial,
+            params={
+                "dataset": dataset,
+                "epsilon": epsilon,
+                "delta": DELTA,
+                "triangle_floor": triangle_floor,
+                "reference": tuple(reference),
+            },
+            index=index,
+            seed=seed,
+        )
+        for index, (epsilon, triangle_floor, seed) in enumerate(grid)
+    ]
+    report = run_trials(
+        specs,
+        n_jobs=config.n_jobs,
+        cache=config.trial_cache,
+        label=f"ablation_epsilon:{dataset}",
+    )
+    distances: dict = {}
+    for (epsilon, triangle_floor, _seed), value in zip(grid, report.results):
+        distances.setdefault((epsilon, triangle_floor), []).append(value)
+    return {key: float(np.median(values)) for key, values in distances.items()}
+
+
+def _sweep(reference, config):
+    grid = [(epsilon, "noise_scale", seed) for epsilon in EPSILONS for seed in SEEDS]
+    by_point = _median_distances(grid, "ca-grqc", reference, config=config)
+    return {epsilon: by_point[(epsilon, "noise_scale")] for epsilon in EPSILONS}
 
 
 def test_epsilon_sweep(benchmark, emit):
+    config = default_config()
     graph = load_dataset("ca-grqc")
     reference = fit_kronmom(graph).initiator
     medians = benchmark.pedantic(
-        lambda: _sweep(graph, reference), rounds=1, iterations=1
+        lambda: _sweep(reference, config), rounds=1, iterations=1
     )
     table = TextTable(
         ["epsilon", "median d(Private, KronMom)"],
@@ -56,15 +104,13 @@ def test_epsilon_sweep(benchmark, emit):
     )
     synthetic = load_dataset("synthetic-kronecker")
     synthetic_reference = fit_kronmom(synthetic).initiator
-    policy_medians = {}
-    for policy in ("noise_scale", "one", "none"):
-        distances = [
-            PrivateKroneckerEstimator(0.2, DELTA, triangle_floor=policy, seed=seed)
-            .fit(synthetic)
-            .initiator.distance(synthetic_reference)
-            for seed in SEEDS
-        ]
-        policy_medians[policy] = float(np.median(distances))
+    policies = ("noise_scale", "one", "none")
+    grid = [(0.2, policy, seed) for policy in policies for seed in SEEDS]
+    by_point = _median_distances(
+        grid, "synthetic-kronecker", synthetic_reference, config=config
+    )
+    policy_medians = {policy: by_point[(0.2, policy)] for policy in policies}
+    for policy in policies:
         policy_table.add_row([policy, policy_medians[policy]])
     emit("ablation_epsilon", table.render() + "\n\n" + policy_table.render())
 

@@ -7,8 +7,6 @@ SKG fits *under-estimate* the clustering coefficient of the original
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks._figure_common import run_figure_bench
 from repro.graphs.datasets import load_dataset
 from repro.stats.clustering import average_clustering

@@ -8,6 +8,21 @@ computation of each artifact.
 Scale knobs are environment variables (see
 :mod:`repro.evaluation.experiments`): notably ``REPRO_REALIZATIONS``
 (default 20; the paper uses 100) and ``REPRO_KRONFIT_ITERATIONS``.
+
+Every repeated-trial loop (the "Expected" ensembles, Table 1's fits, the
+ε-ablation grid, the baseline comparison) runs through the
+:mod:`repro.runtime` engine, so two more knobs apply to the whole suite:
+
+* ``REPRO_N_JOBS`` — fan trials across that many worker processes
+  (results are bit-identical for any value; ``0`` = all cores),
+* ``REPRO_CACHE_DIR`` — memoize completed trials on disk, making
+  interrupted or repeated bench runs resumable.
+
+CI's smoke job runs the fast configuration ``REPRO_REALIZATIONS=2
+REPRO_N_JOBS=2`` against one figure bench plus ``repro run-ensemble`` so
+the parallel engine is exercised end-to-end on every push; see
+``.github/workflows/ci.yml``.  ``benchmarks/bench_runtime.py`` asserts
+the engine's determinism, speedup, and cache-resume guarantees.
 """
 
 from __future__ import annotations

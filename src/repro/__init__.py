@@ -65,6 +65,7 @@ from repro.core import (
     sample_ensemble,
     DPDegreeSequenceSynthesizer,
 )
+from repro.runtime import TrialCache, TrialRunReport, TrialSpec, run_trials
 from repro.stats import matching_statistics, summarize
 
 __version__ = "1.0.0"
@@ -110,6 +111,11 @@ __all__ = [
     "fit_private",
     "sample_ensemble",
     "DPDegreeSequenceSynthesizer",
+    # runtime
+    "TrialSpec",
+    "TrialRunReport",
+    "TrialCache",
+    "run_trials",
     # stats
     "matching_statistics",
     "summarize",

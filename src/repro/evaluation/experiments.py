@@ -7,7 +7,27 @@ a fast default run and a paper-faithful run use the same code paths:
   default here: 20 to keep the bench suite responsive),
 * ``REPRO_HOP_SOURCES`` — BFS sources for sampled hop plots (0 = exact),
 * ``REPRO_KRONFIT_ITERATIONS`` — gradient iterations for the KronFit
-  baseline.
+  baseline,
+* ``REPRO_EPSILON`` / ``REPRO_DELTA`` — the privacy budget of the private
+  estimator,
+* ``REPRO_SEED`` — root seed every harness derives its streams from.
+
+Parallel/caching knobs (consumed by :mod:`repro.runtime`):
+
+* ``REPRO_N_JOBS`` — worker processes for trial ensembles (default 1 =
+  serial; ``0`` or negative = all cores).  Results are bit-identical for
+  any value: per-trial RNG streams depend only on the root seed and the
+  trial index,
+* ``REPRO_CACHE_DIR`` — directory memoizing completed trials on disk
+  (default: empty = caching disabled).  A rerun with the same
+  configuration executes zero trials; changing any knob that feeds a
+  trial (or the trial code itself) invalidates the affected entries.
+
+CI sets ``REPRO_REALIZATIONS=2`` with ``REPRO_N_JOBS=2`` so one figure
+bench exercises the full parallel harness end-to-end in minutes; paper
+runs use ``REPRO_REALIZATIONS=100`` with as many jobs as the machine has
+cores and a persistent ``REPRO_CACHE_DIR`` so interrupted ensembles
+resume instead of restarting.
 """
 
 from __future__ import annotations
@@ -37,6 +57,13 @@ class ExperimentConfig:
     svd_rank: int = 50
     kronfit_iterations: int = 30
     seed: int = 20120330  # the PAIS'12 workshop date
+    n_jobs: int = 1  # trial-engine workers; 0 or negative = all cores
+    cache_dir: str = ""  # trial-cache directory; empty = caching disabled
+
+    @property
+    def trial_cache(self) -> str | None:
+        """The cache argument for :func:`repro.runtime.run_trials`."""
+        return self.cache_dir or None
 
 
 def _env_int(name: str, fallback: int) -> int:
@@ -49,15 +76,27 @@ def _env_int(name: str, fallback: int) -> int:
         raise ValueError(f"environment variable {name} must be an integer, got {raw!r}")
 
 
+def _env_float(name: str, fallback: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return fallback
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"environment variable {name} must be a number, got {raw!r}")
+
+
 def default_config() -> ExperimentConfig:
     """The configuration benches run with, after environment overrides."""
     base = ExperimentConfig()
     return ExperimentConfig(
-        epsilon=float(os.environ.get("REPRO_EPSILON", base.epsilon)),
-        delta=float(os.environ.get("REPRO_DELTA", base.delta)),
+        epsilon=_env_float("REPRO_EPSILON", base.epsilon),
+        delta=_env_float("REPRO_DELTA", base.delta),
         realizations=_env_int("REPRO_REALIZATIONS", base.realizations),
         hop_sources=_env_int("REPRO_HOP_SOURCES", base.hop_sources),
         svd_rank=_env_int("REPRO_SVD_RANK", base.svd_rank),
         kronfit_iterations=_env_int("REPRO_KRONFIT_ITERATIONS", base.kronfit_iterations),
         seed=_env_int("REPRO_SEED", base.seed),
+        n_jobs=_env_int("REPRO_N_JOBS", base.n_jobs),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR", base.cache_dir),
     )

@@ -9,7 +9,10 @@ three estimators (KronFit / KronMom / Private), for five statistics:
 clustering coefficient by degree.
 
 Figure 1 additionally overlays "Expected" curves: the statistic averaged
-over an ensemble of realizations (the paper uses 100).
+over an ensemble of realizations (the paper uses 100).  The ensembles run
+through :mod:`repro.runtime` — ``config.n_jobs`` fans the realizations
+across worker processes and ``config.cache_dir`` memoizes completed
+trials, with results bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -26,8 +29,10 @@ from repro.core.nonprivate import (
     fit_kronmom,
     fit_private,
 )
-from repro.core.synthesis import sample_ensemble
 from repro.evaluation.experiments import FIGURE_DATASETS, ExperimentConfig, default_config
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.sampling import sample_skg
+from repro.runtime import TrialSpec, run_trials
 from repro.stats.clustering import clustering_by_degree
 from repro.stats.degrees import degree_distribution
 from repro.stats.hopplot import hop_plot
@@ -248,31 +253,60 @@ def run_figure(
             seed=seeds[2 + index],
         )
     if include_expected:
-        for method, estimate in estimates.items():
-            ensemble = sample_ensemble(
-                estimate.initiator,
-                estimate.k,
-                config.realizations,
-                seed=root,
-            )
-            per_graph = [
-                compute_graph_statistics(
-                    synthetic,
-                    f"Expected {method}",
-                    hop_sources=config.hop_sources or None,
-                    svd_rank=config.svd_rank,
-                    seed=root,
+        for method_index, (method, estimate) in enumerate(estimates.items()):
+            label = f"Expected {method}"
+            theta = estimate.initiator
+            specs = [
+                TrialSpec(
+                    fn=_expected_statistics_trial,
+                    params={
+                        "a": theta.a,
+                        "b": theta.b,
+                        "c": theta.c,
+                        "k": estimate.k,
+                        "label": label,
+                        "hop_sources": config.hop_sources or None,
+                        "svd_rank": config.svd_rank,
+                    },
+                    index=trial,
                 )
-                for synthetic in ensemble
+                for trial in range(config.realizations)
             ]
-            statistics[f"Expected {method}"] = average_statistics(
-                per_graph, f"Expected {method}"
+            report = run_trials(
+                specs,
+                seed=np.random.SeedSequence([config.seed, figure_number, method_index]),
+                n_jobs=config.n_jobs,
+                cache=config.trial_cache,
+                label=f"figure{figure_number}:{label}",
             )
+            statistics[label] = average_statistics(report.results, label)
     return FigureResult(
         figure_number=figure_number,
         dataset=dataset,
         estimates=estimates,
         statistics=statistics,
+    )
+
+
+def _expected_statistics_trial(
+    rng: np.random.Generator,
+    *,
+    a: float,
+    b: float,
+    c: float,
+    k: int,
+    label: str,
+    hop_sources: int | None,
+    svd_rank: int,
+) -> GraphStatistics:
+    """One "Expected" realization: sample Θ^{⊗k} and compute its statistics.
+
+    Module-level (and parameterised by plain scalars) so the runtime engine
+    can ship it to worker processes and cache it by value.
+    """
+    graph = sample_skg(Initiator(a, b, c), k, seed=rng)
+    return compute_graph_statistics(
+        graph, label, hop_sources=hop_sources, svd_rank=svd_rank, seed=rng
     )
 
 

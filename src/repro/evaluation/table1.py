@@ -12,11 +12,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.graphs.datasets import load_dataset
 from repro.core.nonprivate import fit_kronfit, fit_kronmom, fit_private
 from repro.evaluation.experiments import ExperimentConfig, default_config
 from repro.kronecker.initiator import Initiator
-from repro.utils.rng import as_generator, spawn_generators
+from repro.runtime import TrialSpec, run_trials
 from repro.utils.tables import TextTable
 
 __all__ = ["Table1Row", "run_table1", "render_table1", "TABLE1_DATASETS"]
@@ -42,30 +44,74 @@ def run_table1(
     datasets: tuple[str, ...] = TABLE1_DATASETS,
     methods: tuple[str, ...] = ("KronFit", "KronMom", "Private"),
 ) -> list[Table1Row]:
-    """Fit every (dataset, method) pair of Table 1."""
+    """Fit every (dataset, method) pair of Table 1.
+
+    The twelve fits are independent, so they run through
+    :mod:`repro.runtime` honouring ``config.n_jobs`` / ``config.cache_dir``.
+    Each trial keeps the historical per-(dataset, method) seed (the
+    spawned children of ``config.seed + 100 + dataset_index``), so the
+    table is bit-identical to the serial original for any worker count.
+    """
     config = config or default_config()
-    rows: list[Table1Row] = []
+    unknown = [method for method in methods if method not in _TABLE1_METHODS]
+    if unknown:
+        raise ValueError(f"unknown method {unknown[0]!r}")
+    specs: list[TrialSpec] = []
     for dataset_index, dataset in enumerate(datasets):
-        graph = load_dataset(dataset)
-        seeds = spawn_generators(config.seed + 100 + dataset_index, len(methods))
+        seeds = np.random.SeedSequence(config.seed + 100 + dataset_index).spawn(
+            len(methods)
+        )
         for method, seed in zip(methods, seeds):
-            rng = as_generator(seed)
-            if method == "KronFit":
-                result = fit_kronfit(
-                    graph, n_iterations=config.kronfit_iterations, seed=rng
+            specs.append(
+                TrialSpec(
+                    fn=_table1_trial,
+                    params={
+                        "dataset": dataset,
+                        "method": method,
+                        "epsilon": config.epsilon,
+                        "delta": config.delta,
+                        "kronfit_iterations": config.kronfit_iterations,
+                    },
+                    index=len(specs),
+                    seed=seed,
                 )
-            elif method == "KronMom":
-                result = fit_kronmom(graph)
-            elif method == "Private":
-                result = fit_private(
-                    graph, epsilon=config.epsilon, delta=config.delta, seed=rng
-                )
-            else:
-                raise ValueError(f"unknown method {method!r}")
-            rows.append(
-                Table1Row(dataset=dataset, method=method, initiator=result.initiator)
             )
-    return rows
+    report = run_trials(
+        specs, n_jobs=config.n_jobs, cache=config.trial_cache, label="table1"
+    )
+    return [
+        Table1Row(
+            dataset=spec.params["dataset"],
+            method=spec.params["method"],
+            initiator=initiator,
+        )
+        for spec, initiator in zip(specs, report.results)
+    ]
+
+
+_TABLE1_METHODS = ("KronFit", "KronMom", "Private")
+
+
+def _table1_trial(
+    rng: np.random.Generator,
+    *,
+    dataset: str,
+    method: str,
+    epsilon: float,
+    delta: float,
+    kronfit_iterations: int,
+) -> Initiator:
+    """One Table 1 cell group: load the dataset and fit one estimator."""
+    graph = load_dataset(dataset)
+    if method == "KronFit":
+        result = fit_kronfit(graph, n_iterations=kronfit_iterations, seed=rng)
+    elif method == "KronMom":
+        result = fit_kronmom(graph)
+    elif method == "Private":
+        result = fit_private(graph, epsilon=epsilon, delta=delta, seed=rng)
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    return result.initiator
 
 
 def render_table1(rows: list[Table1Row], *, config: ExperimentConfig | None = None) -> str:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from functools import lru_cache
 from pathlib import Path
 from typing import Callable
 
@@ -172,11 +173,26 @@ def load_dataset(name: str, seed: SeedLike = None) -> Graph:
     ``seed`` (default: the spec's fixed seed, for run-to-run stability).
     """
     spec = dataset_info(name)
+    if seed is None:
+        # The common default-seed path is memoized: Graph is immutable and
+        # the trial engine (repro.runtime) loads datasets once per trial,
+        # which would otherwise rebuild the same graph repeatedly.  The
+        # data directory is part of the key so REPRO_DATA_DIR changes
+        # (tests monkeypatch it) are never served stale.
+        return _load_default(spec.name, os.environ.get(_DATA_DIR_ENV))
     from_disk = _try_load_from_disk(spec.name)
     if from_disk is not None:
         return from_disk
-    rng = as_generator(spec.default_seed if seed is None else seed)
-    return spec.builder(rng)
+    return spec.builder(as_generator(seed))
+
+
+@lru_cache(maxsize=None)
+def _load_default(name: str, _data_dir: str | None) -> Graph:
+    from_disk = _try_load_from_disk(name)
+    if from_disk is not None:
+        return from_disk
+    spec = dataset_info(name)
+    return spec.builder(as_generator(spec.default_seed))
 
 
 def _try_load_from_disk(name: str) -> Graph | None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.kronecker.initiator import Initiator, as_initiator
+from repro.kronecker.initiator import as_initiator
 from repro.stats.counts import MatchingStatistics
 from repro.utils.validation import check_integer, check_probability_matrix
 

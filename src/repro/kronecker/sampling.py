@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
-from repro.kronecker.initiator import Initiator, as_initiator
+from repro.kronecker.initiator import as_initiator
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer
 

@@ -27,8 +27,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
 from repro.stats.counts import max_common_neighbors

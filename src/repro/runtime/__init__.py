@@ -1,0 +1,37 @@
+"""repro.runtime — the parallel, cached trial-execution engine.
+
+Every repeated-trial ensemble in the reproduction (the "Expected" series
+behind Figures 1–4, Table 1's twelve fits, the ε-ablation sweeps, the
+baseline comparison) is a list of independent trials.  This subsystem runs
+such lists through one engine:
+
+* :class:`TrialSpec` — one trial: a module-level callable plus its keyword
+  configuration, ensemble index, and optional explicit seed;
+* :func:`run_trials` — fans specs across a process pool (serial fallback
+  at ``n_jobs=1``), derives bit-identical per-trial RNG streams from the
+  root seed via ``SeedSequence.spawn``, and memoizes completed trials in a
+  :class:`TrialCache`;
+* :class:`TrialRunReport` — the ordered results plus executed/cached
+  counts and timing.
+
+The ``REPRO_N_JOBS`` and ``REPRO_CACHE_DIR`` environment knobs (see
+:mod:`repro.evaluation.experiments`) wire the engine into every bench and
+the ``repro run-ensemble`` CLI subcommand.
+"""
+
+from repro.runtime.cache import TrialCache
+from repro.runtime.engine import resolve_n_jobs, run_trials
+from repro.runtime.hashing import code_fingerprint, stable_hash, trial_key
+from repro.runtime.spec import TrialRunReport, TrialSeed, TrialSpec
+
+__all__ = [
+    "TrialSpec",
+    "TrialRunReport",
+    "TrialSeed",
+    "TrialCache",
+    "run_trials",
+    "resolve_n_jobs",
+    "stable_hash",
+    "code_fingerprint",
+    "trial_key",
+]

@@ -1,0 +1,86 @@
+"""On-disk memoization of completed trials.
+
+The cache is a directory of pickle files, fanned out over 256 two-hex
+subdirectories, keyed by :func:`repro.runtime.hashing.trial_key`.  Writes
+go through a temporary file and :func:`os.replace`, so a crashed or
+interrupted run never leaves a truncated entry behind — an interrupted
+ensemble simply resumes from the trials that completed.  Corrupt or
+unreadable entries are treated as misses and overwritten on the next
+store.
+
+Results are arbitrary picklable Python objects.  As with any pickle-based
+store, only load caches you produced yourself (the same trust boundary as
+the repository's datasets).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Tuple
+
+__all__ = ["TrialCache"]
+
+
+class TrialCache:
+    """Pickle-file cache mapping trial keys to trial results.
+
+    >>> import tempfile
+    >>> cache = TrialCache(tempfile.mkdtemp())
+    >>> cache.store("ab" * 32, {"edges": 12.0})
+    >>> cache.load("ab" * 32)
+    (True, {'edges': 12.0})
+    >>> cache.load("cd" * 32)
+    (False, None)
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def load(self, key: str) -> Tuple[bool, Any]:
+        """``(True, result)`` on a hit, ``(False, None)`` on a miss.
+
+        A present-but-unreadable entry (truncated file, incompatible
+        pickle) counts as a miss.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                return True, pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return False, None
+
+    def store(self, key: str, result: Any) -> None:
+        """Persist ``result`` under ``key`` atomically (write + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of cached entries currently on disk."""
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def __repr__(self) -> str:
+        return f"TrialCache({str(self.directory)!r})"

@@ -1,0 +1,190 @@
+"""The parallel trial-execution engine.
+
+:func:`run_trials` fans a list of :class:`~repro.runtime.spec.TrialSpec`
+across a :class:`concurrent.futures.ProcessPoolExecutor` (or runs them
+in-process when ``n_jobs=1``), with three guarantees:
+
+* **Determinism** — per-trial RNG streams are derived from the root seed
+  with :meth:`numpy.random.SeedSequence.spawn`, indexed by trial position.
+  A trial's stream depends only on ``(root seed, index)`` — never on which
+  worker ran it or in what order — so ensemble results are bit-identical
+  for any ``n_jobs``.
+* **Memoization** — with a cache directory configured, completed trials
+  are persisted keyed by a stable hash of (function qualname + source
+  fingerprint, params, trial index, effective seed); a rerun executes only
+  the missing trials, which makes interrupted ensembles resumable.
+* **Observability** — the returned
+  :class:`~repro.runtime.spec.TrialRunReport` carries the executed/cached
+  split and wall-clock timing, and progress is logged through
+  :mod:`repro.utils.logging`.
+
+Worker count resolution: an explicit ``n_jobs`` argument wins, then the
+``REPRO_N_JOBS`` environment variable, then the serial default of 1.
+``n_jobs <= 0`` means "all available cores".  Trial callables must be
+module-level functions (workers import them by name).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.runtime.cache import TrialCache
+from repro.runtime.hashing import trial_key
+from repro.runtime.spec import TrialRunReport, TrialSpec
+from repro.utils.logging import get_logger
+from repro.utils.validation import check_integer
+
+__all__ = ["run_trials", "resolve_n_jobs"]
+
+_logger = get_logger(__name__)
+
+
+def resolve_n_jobs(n_jobs: int | None = None) -> int:
+    """Resolve a worker count: argument, then ``REPRO_N_JOBS``, then 1.
+
+    ``n_jobs <= 0`` (from either source) requests one worker per available
+    CPU core.  Non-integral values raise the same clear errors as the
+    other ``REPRO_*`` knobs.
+    """
+    if n_jobs is None:
+        raw = os.environ.get("REPRO_N_JOBS")
+        if raw is None:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"environment variable REPRO_N_JOBS must be an integer, got {raw!r}"
+            )
+    n_jobs = check_integer(n_jobs, "n_jobs")
+    if n_jobs <= 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def run_trials(
+    specs: Iterable[TrialSpec],
+    *,
+    seed: Any = None,
+    n_jobs: int | None = None,
+    cache: TrialCache | str | os.PathLike | None = None,
+    label: str = "trials",
+) -> TrialRunReport:
+    """Execute an ensemble of trials, in parallel and with memoization.
+
+    Parameters
+    ----------
+    specs:
+        The trials.  Results come back in spec order regardless of
+        completion order.
+    seed:
+        Root seed for the ensemble (``None``, int,
+        :class:`~numpy.random.SeedSequence`, or
+        :class:`~numpy.random.Generator`).  Each trial receives the child
+        stream at its ``index``; specs carrying an explicit ``seed`` keep
+        it.  Pass a fixed seed for reproducible (and cacheable) ensembles.
+    n_jobs:
+        Worker processes; see :func:`resolve_n_jobs`.  ``1`` runs serially
+        in-process (no pickling, monkeypatch-friendly).
+    cache:
+        ``None`` (no caching), a directory path, or a
+        :class:`~repro.runtime.cache.TrialCache`.
+    label:
+        Human-readable ensemble name for progress logging.
+
+    Returns
+    -------
+    TrialRunReport
+        Ordered results plus the executed/cached split and elapsed time.
+    """
+    specs = list(specs)
+    n_jobs = resolve_n_jobs(n_jobs)
+    store = _as_cache(cache)
+    seeds = _effective_seeds(specs, seed)
+    start = time.perf_counter()
+
+    results: list[Any] = [None] * len(specs)
+    keys: list[str | None] = [None] * len(specs)
+    pending: list[int] = []
+    for position, (spec, trial_seed) in enumerate(zip(specs, seeds)):
+        if store is not None:
+            keys[position] = trial_key(spec, trial_seed)
+            hit, value = store.load(keys[position])
+            if hit:
+                results[position] = value
+                continue
+        pending.append(position)
+    cached = len(specs) - len(pending)
+
+    _logger.info(
+        "%s: %d trials (%d cached, %d to run) with n_jobs=%d",
+        label, len(specs), cached, len(pending), n_jobs,
+    )
+    if pending:
+        if n_jobs == 1 or len(pending) == 1:
+            for position in pending:
+                results[position] = _run_one(specs[position], seeds[position])
+                _store_result(store, keys[position], results[position])
+                _logger.debug("%s: trial %d done", label, specs[position].index)
+        else:
+            workers = min(n_jobs, len(pending))
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_run_one, specs[position], seeds[position]): position
+                    for position in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    position = futures[future]
+                    results[position] = future.result()
+                    _store_result(store, keys[position], results[position])
+                    _logger.debug("%s: trial %d done", label, specs[position].index)
+
+    elapsed = time.perf_counter() - start
+    _logger.info(
+        "%s: completed %d trials in %.2fs (%d executed, %d cached)",
+        label, len(specs), elapsed, len(pending), cached,
+    )
+    return TrialRunReport(
+        results=results,
+        executed=len(pending),
+        cached=cached,
+        n_jobs=n_jobs,
+        elapsed=elapsed,
+    )
+
+
+def _run_one(spec: TrialSpec, trial_seed: Any) -> Any:
+    """Execute one trial with its derived generator (runs in workers too)."""
+    rng = np.random.default_rng(trial_seed)
+    return spec.fn(rng, **dict(spec.params))
+
+
+def _store_result(store: TrialCache | None, key: str | None, result: Any) -> None:
+    if store is not None and key is not None:
+        store.store(key, result)
+
+
+def _as_cache(cache: TrialCache | str | os.PathLike | None) -> TrialCache | None:
+    if cache is None:
+        return None
+    if isinstance(cache, TrialCache):
+        return cache
+    return TrialCache(cache)
+
+
+def _effective_seeds(specs: Sequence[TrialSpec], seed: Any) -> list[Any]:
+    """Per-trial seeds: spawned children of the root, or spec overrides."""
+    if isinstance(seed, np.random.Generator):
+        seed = int(seed.integers(0, 2**63 - 1))
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    children = root.spawn(len(specs)) if specs else []
+    return [
+        spec.seed if spec.seed is not None else child
+        for spec, child in zip(specs, children)
+    ]

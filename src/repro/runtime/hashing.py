@@ -1,0 +1,148 @@
+"""Stable content hashing for trial cache keys.
+
+The on-disk trial cache (:mod:`repro.runtime.cache`) must key results by
+*value*, not by object identity, and the key must be identical across
+processes and interpreter runs (``hash()`` is salted per process, so it is
+useless here).  :func:`stable_hash` canonically serialises a restricted
+vocabulary of values — scalars, strings, bytes, sequences, mappings, sets,
+dataclasses, and numpy arrays — into a SHA-256 digest.  Unsupported types
+raise :class:`TypeError` instead of silently producing an unstable key.
+
+:func:`trial_key` combines a :class:`~repro.runtime.spec.TrialSpec` with
+its effective seed and a fingerprint of the trial function's source code,
+so editing the trial function invalidates its cached results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import struct
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+__all__ = ["stable_hash", "code_fingerprint", "trial_key"]
+
+
+def stable_hash(value: Any) -> str:
+    """SHA-256 hex digest of a canonical, process-independent encoding.
+
+    Mappings hash independently of insertion order; ints and floats hash
+    distinctly (``1 != 1.0`` as keys); numpy arrays hash by dtype, shape,
+    and contents.
+
+    >>> stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+    True
+    """
+    digest = hashlib.sha256()
+    _feed(digest, value)
+    return digest.hexdigest()
+
+
+def code_fingerprint(fn: Callable[..., Any]) -> str:
+    """Short fingerprint of a callable's source code (cache invalidation).
+
+    Falls back to the qualified name when the source is unavailable
+    (builtins, C extensions, interactive definitions).
+    """
+    try:
+        token = inspect.getsource(fn)
+    except (OSError, TypeError):
+        token = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+    return hashlib.sha256(token.encode("utf-8")).hexdigest()[:16]
+
+
+def trial_key(spec: Any, effective_seed: Any) -> str:
+    """Cache key of one trial: function identity + code + config + seed.
+
+    ``spec`` is a :class:`repro.runtime.spec.TrialSpec`; ``effective_seed``
+    is the integer or :class:`numpy.random.SeedSequence` the engine will
+    hand to the trial (after root-seed spawning), so re-seeding an ensemble
+    never reuses stale results.
+    """
+    fn = spec.fn
+    payload = (
+        getattr(fn, "__module__", "?"),
+        getattr(fn, "__qualname__", repr(fn)),
+        code_fingerprint(fn),
+        dict(spec.params),
+        spec.index,
+        _seed_token(effective_seed),
+    )
+    return stable_hash(payload)
+
+
+def _seed_token(seed: Any) -> tuple:
+    """A hashable, value-stable token for an engine seed."""
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if isinstance(entropy, (list, tuple)):
+            entropy = tuple(int(e) for e in entropy)
+        elif entropy is not None:
+            entropy = int(entropy)
+        return ("seedsequence", entropy, tuple(seed.spawn_key))
+    if seed is None:
+        return ("none",)
+    return ("int", int(seed))
+
+
+def _feed(digest: "hashlib._Hash", value: Any) -> None:
+    """Recursively feed a type-tagged, length-prefixed encoding of value."""
+    if value is None:
+        digest.update(b"N")
+    elif isinstance(value, bool) or isinstance(value, np.bool_):
+        digest.update(b"B1" if value else b"B0")
+    elif isinstance(value, (int, np.integer)):
+        token = str(int(value)).encode("ascii")
+        digest.update(b"I%d:" % len(token))
+        digest.update(token)
+    elif isinstance(value, (float, np.floating)):
+        digest.update(b"F")
+        digest.update(struct.pack("<d", float(value)))
+    elif isinstance(value, str):
+        token = value.encode("utf-8")
+        digest.update(b"S%d:" % len(token))
+        digest.update(token)
+    elif isinstance(value, (bytes, bytearray)):
+        digest.update(b"Y%d:" % len(value))
+        digest.update(bytes(value))
+    elif isinstance(value, np.ndarray):
+        if value.dtype.hasobject:
+            raise TypeError(
+                "stable_hash does not support object-dtype arrays (their "
+                "bytes are memory addresses, not values)"
+            )
+        array = np.ascontiguousarray(value)
+        digest.update(b"A")
+        _feed(digest, str(array.dtype))
+        _feed(digest, array.shape)
+        digest.update(array.tobytes())
+    elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+        digest.update(b"D")
+        _feed(digest, f"{type(value).__module__}.{type(value).__qualname__}")
+        _feed(digest, {f.name: getattr(value, f.name) for f in dataclasses.fields(value)})
+    elif isinstance(value, (list, tuple)):
+        digest.update(b"L%d:" % len(value))
+        for item in value:
+            _feed(digest, item)
+    elif isinstance(value, Mapping):
+        items = sorted(
+            ((stable_hash(key), key, item) for key, item in value.items()),
+            key=lambda entry: entry[0],
+        )
+        digest.update(b"M%d:" % len(items))
+        for _, key, item in items:
+            _feed(digest, key)
+            _feed(digest, item)
+    elif isinstance(value, (set, frozenset)):
+        digest.update(b"T%d:" % len(value))
+        for token in sorted(stable_hash(item) for item in value):
+            digest.update(token.encode("ascii"))
+    else:
+        raise TypeError(
+            f"stable_hash does not support {type(value).__qualname__}; trial "
+            f"params must be built from scalars, strings, sequences, mappings, "
+            f"dataclasses, and numpy arrays"
+        )

@@ -1,0 +1,79 @@
+"""Trial descriptions and run reports for the execution engine.
+
+A :class:`TrialSpec` names one unit of ensemble work: a module-level
+callable, its keyword configuration, the trial's index within the
+ensemble, and optionally an explicit seed overriding the engine's derived
+per-trial stream.  Specs must be picklable (the engine ships them to
+worker processes) and their ``params`` must be hashable by
+:func:`repro.runtime.hashing.stable_hash` when caching is enabled.
+
+:class:`TrialRunReport` is what :func:`repro.runtime.engine.run_trials`
+returns: the ordered results plus the executed/cached split and wall-clock
+timing, so callers (and tests) can observe cache behaviour directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Union
+
+import numpy as np
+
+__all__ = ["TrialSpec", "TrialRunReport", "TrialSeed"]
+
+# Explicit per-trial seed forms the engine accepts on a spec.
+TrialSeed = Union[None, int, np.random.SeedSequence]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One trial: ``fn(rng, **params)`` at position ``index`` of an ensemble.
+
+    Attributes
+    ----------
+    fn:
+        Module-level callable invoked as ``fn(rng, **params)`` where ``rng``
+        is a :class:`numpy.random.Generator` derived for this trial.  Must
+        be importable by name so worker processes can unpickle it.
+    params:
+        Keyword configuration, identical across processes.  Part of the
+        cache key, so values must be stable-hashable.
+    index:
+        Position of the trial in its ensemble; selects which spawned child
+        stream the trial receives and distinguishes otherwise-identical
+        trials in the cache.
+    seed:
+        Optional explicit seed (int or :class:`numpy.random.SeedSequence`)
+        overriding the engine-derived stream — used by consumers that must
+        preserve historical per-trial seeding exactly.
+    """
+
+    fn: Callable[..., Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    index: int = 0
+    seed: TrialSeed = None
+
+
+@dataclass(frozen=True)
+class TrialRunReport:
+    """Outcome of one :func:`~repro.runtime.engine.run_trials` call.
+
+    Attributes
+    ----------
+    results:
+        Trial results in spec order (independent of completion order).
+    executed:
+        Number of trials actually run in this call.
+    cached:
+        Number of trials served from the on-disk cache.
+    n_jobs:
+        The resolved worker count the run used.
+    elapsed:
+        Wall-clock seconds for the whole batch, including cache probes.
+    """
+
+    results: list
+    executed: int
+    cached: int
+    n_jobs: int
+    elapsed: float

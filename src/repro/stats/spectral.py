@@ -59,7 +59,15 @@ def _truncated_svd(graph: Graph, k: int) -> tuple[np.ndarray, np.ndarray]:
         keep = min(k, sigma.size)
         return sigma[:keep], v_transpose[0, :]
     adjacency = graph.adjacency.astype(np.float64).tocsc()
-    u, sigma, v_transpose = scipy.sparse.linalg.svds(adjacency, k=min(k, n - 2))
+    # Fixed ARPACK start vector: the default draws from process-global
+    # random state, which breaks bit-identical results across worker
+    # processes (repro.runtime's determinism guarantee).  The adjacency
+    # matrix is nonnegative, so the uniform vector is never orthogonal to
+    # the principal subspace.
+    v0 = np.full(n, 1.0 / np.sqrt(n))
+    u, sigma, v_transpose = scipy.sparse.linalg.svds(
+        adjacency, k=min(k, n - 2), v0=v0
+    )
     order = np.argsort(sigma)[::-1]
     sigma = sigma[order]
     principal = v_transpose[order[0], :]

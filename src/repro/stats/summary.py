@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.graphs.graph import Graph
 from repro.stats.clustering import average_clustering
 from repro.stats.counts import (

@@ -43,3 +43,33 @@ class TestConfig:
         config = ExperimentConfig()
         with pytest.raises(AttributeError):
             config.epsilon = 1.0  # type: ignore[misc]
+
+    def test_runtime_defaults(self):
+        config = ExperimentConfig()
+        assert config.n_jobs == 1
+        assert config.cache_dir == ""
+        assert config.trial_cache is None
+
+    def test_runtime_env_overrides(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_N_JOBS", "4")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = default_config()
+        assert config.n_jobs == 4
+        assert config.cache_dir == str(tmp_path)
+        assert config.trial_cache == str(tmp_path)
+
+    @pytest.mark.parametrize("name", ["REPRO_EPSILON", "REPRO_DELTA"])
+    def test_bad_float_env_names_variable(self, monkeypatch, name):
+        monkeypatch.setenv(name, "very private")
+        with pytest.raises(ValueError, match=name):
+            default_config()
+
+    @pytest.mark.parametrize("name", ["REPRO_N_JOBS", "REPRO_REALIZATIONS"])
+    def test_bad_int_env_names_variable(self, monkeypatch, name):
+        monkeypatch.setenv(name, "2.5")
+        with pytest.raises(ValueError, match=name):
+            default_config()
+
+    def test_float_env_accepts_scientific_notation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DELTA", "1e-5")
+        assert default_config().delta == 1e-5

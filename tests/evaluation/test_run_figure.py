@@ -78,3 +78,43 @@ class TestRunFigureIntegration:
         )
         with pytest.raises(ValueError, match="unknown method"):
             run_figure(4, methods=("Oracle",))
+
+
+class TestExpectedEnsembleParallelism:
+    """The "Expected" ensembles are bit-identical for any worker count."""
+
+    @pytest.fixture
+    def small_graph(self, monkeypatch):
+        graph = sample_skg(Initiator(0.9, 0.55, 0.2), 7, seed=0)
+        monkeypatch.setattr(
+            figures_module, "load_dataset", lambda name, seed=None: graph
+        )
+        return graph
+
+    def _config(self, n_jobs):
+        return ExperimentConfig(
+            realizations=3,
+            hop_sources=0,
+            svd_rank=6,
+            seed=7,
+            n_jobs=n_jobs,
+        )
+
+    def test_expected_series_identical_across_n_jobs(self, small_graph):
+        serial = run_figure(
+            4,
+            config=self._config(n_jobs=1),
+            include_expected=True,
+            methods=("KronMom",),
+        )
+        parallel = run_figure(
+            4,
+            config=self._config(n_jobs=2),
+            include_expected=True,
+            methods=("KronMom",),
+        )
+        for name in STATISTIC_NAMES:
+            serial_series = serial.statistics["Expected KronMom"][name]
+            parallel_series = parallel.statistics["Expected KronMom"][name]
+            np.testing.assert_array_equal(serial_series.xs, parallel_series.xs)
+            np.testing.assert_array_equal(serial_series.ys, parallel_series.ys)

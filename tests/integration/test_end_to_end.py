@@ -8,7 +8,6 @@ match the original's headline statistics) rather than exact numbers.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 import repro

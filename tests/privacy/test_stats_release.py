@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.graphs.generators import erdos_renyi_graph
 from repro.privacy.stats_release import release_matching_statistics
 from repro.stats.counts import matching_statistics
 

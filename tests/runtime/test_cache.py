@@ -1,0 +1,59 @@
+"""Tests for the on-disk trial cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime import TrialCache
+
+
+KEY = "ab" * 32
+OTHER = "cd" * 32
+
+
+class TestTrialCache:
+    def test_roundtrip(self, tmp_path):
+        cache = TrialCache(tmp_path / "cache")
+        cache.store(KEY, {"edges": 12.0, "values": np.arange(3)})
+        hit, value = cache.load(KEY)
+        assert hit
+        assert value["edges"] == 12.0
+        np.testing.assert_array_equal(value["values"], np.arange(3))
+
+    def test_miss(self, tmp_path):
+        cache = TrialCache(tmp_path / "cache")
+        assert cache.load(OTHER) == (False, None)
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "cache"
+        TrialCache(target)
+        assert target.is_dir()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TrialCache(tmp_path / "cache")
+        cache.store(KEY, [1, 2, 3])
+        cache.path_for(KEY).write_bytes(b"not a pickle")
+        assert cache.load(KEY) == (False, None)
+        # And the next store repairs it.
+        cache.store(KEY, [4, 5])
+        assert cache.load(KEY) == (True, [4, 5])
+
+    def test_overwrite_replaces(self, tmp_path):
+        cache = TrialCache(tmp_path / "cache")
+        cache.store(KEY, "first")
+        cache.store(KEY, "second")
+        assert cache.load(KEY) == (True, "second")
+        assert len(cache) == 1
+
+    def test_len_counts_entries(self, tmp_path):
+        cache = TrialCache(tmp_path / "cache")
+        assert len(cache) == 0
+        cache.store(KEY, 1)
+        cache.store(OTHER, 2)
+        assert len(cache) == 2
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = TrialCache(tmp_path / "cache")
+        cache.store(KEY, list(range(100)))
+        leftovers = [p for p in (tmp_path / "cache").rglob(".tmp-*")]
+        assert leftovers == []

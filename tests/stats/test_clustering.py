@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.graphs import Graph
-from repro.graphs.generators import complete_graph, erdos_renyi_graph, star_graph
+from repro.graphs.generators import erdos_renyi_graph, star_graph
 from repro.stats.clustering import (
     average_clustering,
     clustering_by_degree,

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graphs import Graph
-from repro.graphs.generators import complete_graph, erdos_renyi_graph, star_graph
+from repro.graphs.generators import erdos_renyi_graph, star_graph
 from repro.stats.counts import (
     count_edges,
     count_triangles,

@@ -140,3 +140,52 @@ class TestSample:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestRunEnsemble:
+    ARGS = ["run-ensemble", "--a", "0.9", "--b", "0.5", "--c", "0.2",
+            "-k", "6", "--count", "3", "--seed", "1"]
+
+    def test_summary_to_stdout(self, capsys):
+        assert main(self.ARGS) == 0
+        output = capsys.readouterr().out
+        assert "Ensemble of 3 SKG realizations" in output
+        for statistic in ("edges", "hairpins", "tripins", "triangles"):
+            assert statistic in output
+        assert "3 trial(s) executed, 0 from cache" in output
+
+    def test_parallel_matches_serial(self, capsys):
+        assert main(self.ARGS + ["--n-jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--n-jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical statistics tables; only the execution footer differs.
+        assert serial.splitlines()[:8] == parallel.splitlines()[:8]
+
+    def test_cache_resumes(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert "3 trial(s) executed, 0 from cache" in first
+        assert main(self.ARGS + ["--cache-dir", cache]) == 0
+        second = capsys.readouterr().out
+        assert "0 trial(s) executed, 3 from cache" in second
+        assert first.splitlines()[:8] == second.splitlines()[:8]
+
+    def test_json_output(self, tmp_path, capsys):
+        target = tmp_path / "ensemble.json"
+        assert main(self.ARGS + ["--out", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["count"] == 3
+        assert payload["initiator"] == {"a": 0.9, "b": 0.5, "c": 0.2}
+        assert len(payload["statistics"]) == 3
+        assert set(payload["statistics"][0]) == {
+            "edges", "hairpins", "tripins", "triangles"
+        }
+
+    def test_invalid_initiator_rejected(self, capsys):
+        code = main(
+            ["run-ensemble", "--a", "1.5", "--b", "0.5", "--c", "0.2", "-k", "4"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -17,6 +17,8 @@ import repro.graphs.io
 import repro.kronecker.initiator
 import repro.privacy.accountant
 import repro.privacy.k_edge
+import repro.runtime.cache
+import repro.runtime.hashing
 import repro.utils.rng
 import repro.utils.tables
 
@@ -26,6 +28,8 @@ MODULES = [
     repro.kronecker.initiator,
     repro.privacy.accountant,
     repro.privacy.k_edge,
+    repro.runtime.cache,
+    repro.runtime.hashing,
     repro.utils.rng,
     repro.utils.tables,
 ]
