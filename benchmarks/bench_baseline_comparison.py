@@ -27,7 +27,7 @@ from repro.graphs.datasets import load_dataset
 from repro.runtime import TrialSpec, run_trials
 from repro.stats.assortativity import degree_assortativity
 from repro.stats.clustering import average_clustering
-from repro.stats.comparison import ks_distance, relative_error
+from repro.stats.comparison import ks_distance, statistics_relative_errors
 from repro.stats.counts import matching_statistics
 from repro.utils.tables import TextTable
 
@@ -97,14 +97,15 @@ def test_baseline_comparison(benchmark, emit):
     metrics = {}
     for label, synthetic in rows.items():
         stats = matching_statistics(synthetic)
+        errors = statistics_relative_errors(stats, original)
         metrics[label] = {
             "degree_ks": ks_distance(
                 graph.degrees[graph.degrees > 0],
                 synthetic.degrees[synthetic.degrees > 0],
             ),
-            "edges": relative_error(stats.edges, original.edges),
-            "wedges": relative_error(stats.hairpins, original.hairpins),
-            "triangles": relative_error(stats.triangles, original.triangles),
+            "edges": errors["edges"],
+            "wedges": errors["hairpins"],
+            "triangles": errors["triangles"],
         }
         table.add_row(
             [

@@ -1,0 +1,248 @@
+"""EXP-K1 — blocked counting kernels vs the pre-PR full-product path.
+
+Measures the combined per-trial statistics path (the triangle count Δ,
+the local sensitivity LS_Δ, and the local clustering coefficients) on
+stochastic Kronecker draws of increasing order and on the experiment
+datasets, comparing
+
+* **baseline** — the pre-blocking implementations (kept as reference
+  oracles in :mod:`repro.stats.kernels`), which materialize the full
+  sparse product ``A @ A`` once per consumer: three products per trial;
+* **kernels** — the blocked single-pass engine behind the per-graph
+  :class:`~repro.stats.kernels.StatsContext`: one pass per graph, shared
+  by every consumer.
+
+Counts must be bit-identical; the k=14 draw must show a >= 3x wall-clock
+speedup on the combined path.  Results (wall-clock, tracemalloc peaks,
+and the process peak-RSS trajectory) are written to
+``benchmarks/out/BENCH_stats.json`` so the gain is a recorded artifact.
+
+Run directly (no pytest needed)::
+
+    python benchmarks/bench_stats.py            # full matrix, asserts 3x
+    python benchmarks/bench_stats.py --quick    # CI smoke subset
+
+Knobs: ``REPRO_BLOCK_SIZE`` caps the pass's rows per block (the bench
+also records a forced 256-row blocked run to show the memory head-room).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.evaluation.experiments import default_config
+from repro.graphs.datasets import load_dataset
+from repro.graphs.graph import Graph
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.sampling import sample_skg
+from repro.stats import kernels
+from repro.stats.clustering import local_clustering
+from repro.stats.counts import count_triangles, max_common_neighbors
+from repro.stats.kernels import stats_context
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_stats.json"
+THETA = Initiator(0.99, 0.45, 0.25)  # the paper's synthetic initiator
+SEED = 20120330
+SPEEDUP_FLOOR = 3.0
+SPEEDUP_WORKLOAD = "skg-k14"
+FORCED_BLOCK_SIZE = 256
+
+
+def baseline_combined(graph: Graph):
+    """The pre-PR per-trial path: three independent full A @ A products."""
+    triangles = kernels.reference_count_triangles(graph)
+    sensitivity = kernels.reference_max_common_neighbors(graph)
+    per_node = kernels.reference_triangles_per_node(graph)
+    degrees = graph.degrees.astype(np.float64)
+    possible = degrees * (degrees - 1.0) / 2.0
+    clustering = np.zeros(graph.n_nodes, dtype=np.float64)
+    eligible = possible > 0
+    clustering[eligible] = per_node.astype(np.float64)[eligible] / possible[eligible]
+    return triangles, sensitivity, clustering
+
+
+def kernel_combined(graph: Graph):
+    """The same path through the memoized blocked kernels: one A² pass."""
+    return (
+        count_triangles(graph),
+        max_common_neighbors(graph),
+        local_clustering(graph),
+    )
+
+
+def fresh_copy(graph: Graph) -> Graph:
+    """A new Graph instance over the same canonical arrays (cold caches)."""
+    clone = Graph._from_canonical(graph.n_nodes, *graph.edge_arrays)
+    clone.adjacency  # warm the shared structures both paths start from
+    clone.degrees
+    return clone
+
+
+def time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def traced_peak(fn) -> int:
+    """Peak tracemalloc footprint (bytes) of one invocation of ``fn``."""
+    tracemalloc.start()
+    try:
+        fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def max_rss_kb() -> int:
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def bench_workload(name: str, graph: Graph, repeats: int) -> dict:
+    graph.adjacency
+    graph.degrees
+
+    # Bit-identity first: the speedup is meaningless if the counts moved.
+    base_tri, base_ls, base_clust = baseline_combined(graph)
+    kernel_graph = fresh_copy(graph)
+    kern_tri, kern_ls, kern_clust = kernel_combined(kernel_graph)
+    identical = (
+        base_tri == kern_tri
+        and base_ls == kern_ls
+        and np.array_equal(base_clust, kern_clust)
+    )
+    if not identical:
+        raise AssertionError(f"{name}: blocked kernels diverge from the references")
+    pass_info = stats_context(kernel_graph).triangle_pass_result()
+
+    baseline_seconds = time_best(lambda: baseline_combined(graph), repeats)
+    # One cold-cache copy per repeat, prepared outside the timer: both
+    # paths start from a warm adjacency/degrees (the baseline reuses
+    # ``graph``'s), so the timings isolate the statistics work itself.
+    copies = iter([fresh_copy(graph) for _ in range(repeats)])
+    kernel_seconds = time_best(lambda: kernel_combined(next(copies)), repeats)
+
+    baseline_peak = traced_peak(lambda: baseline_combined(graph))
+    kernel_peak = traced_peak(lambda: kernel_combined(fresh_copy(graph)))
+    blocked_peak = traced_peak(
+        lambda: kernels.triangle_pass(fresh_copy(graph), FORCED_BLOCK_SIZE)
+    )
+
+    degrees = graph.degrees
+    record = {
+        "workload": name,
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "wedges": int((degrees * (degrees - 1) // 2).sum()),
+        "triangles": int(base_tri),
+        "max_common_neighbors": int(base_ls),
+        "auto_n_blocks": pass_info.n_blocks,
+        "baseline_seconds": baseline_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": baseline_seconds / kernel_seconds,
+        "baseline_peak_bytes": baseline_peak,
+        "kernel_peak_bytes": kernel_peak,
+        f"kernel_block{FORCED_BLOCK_SIZE}_peak_bytes": blocked_peak,
+        "counts_identical": identical,
+    }
+    return record
+
+
+def build_workloads(quick: bool):
+    orders = (10,) if quick else (10, 12, 14)
+    datasets = ("as20",) if quick else ("ca-grqc", "as20")
+    for k in orders:
+        yield f"skg-k{k}", sample_skg(THETA, k, seed=SEED)
+    for dataset in datasets:
+        yield dataset, load_dataset(dataset)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke subset (skg-k10 + as20); skips the 3x floor assertion",
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="timing repeats")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "JSON output path (default: benchmarks/out/BENCH_stats.json; "
+            "quick runs default to BENCH_stats_quick.json so they never "
+            "overwrite the committed full-matrix artifact)"
+        ),
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.out is None:
+        arguments.out = str(
+            OUT_PATH.with_name("BENCH_stats_quick.json") if arguments.quick else OUT_PATH
+        )
+
+    results = []
+    rss_trajectory = [{"phase": "start", "max_rss_kb": max_rss_kb()}]
+    for name, graph in build_workloads(arguments.quick):
+        record = bench_workload(name, graph, arguments.repeats)
+        rss_trajectory.append({"phase": name, "max_rss_kb": max_rss_kb()})
+        results.append(record)
+        print(
+            f"{name:12s} E={record['n_edges']:>7d} wedges={record['wedges']:>9d} "
+            f"baseline {record['baseline_seconds'] * 1000:7.1f} ms  "
+            f"kernels {record['kernel_seconds'] * 1000:7.1f} ms  "
+            f"speedup {record['speedup']:.2f}x  bit-identical={record['counts_identical']}"
+        )
+
+    floor_record = next(
+        (r for r in results if r["workload"] == SPEEDUP_WORKLOAD), None
+    )
+    report = {
+        "bench": "bench_stats",
+        "quick": arguments.quick,
+        "repeats": arguments.repeats,
+        "combined_path": "triangles + local sensitivity + local clustering",
+        # Provenance via the shared experiment configuration, which mirrors
+        # the REPRO_BLOCK_SIZE knob the kernels consult at pass time.
+        "block_size": default_config().block_size,
+        "speedup_floor": {
+            "workload": SPEEDUP_WORKLOAD,
+            "required": SPEEDUP_FLOOR,
+            "measured": floor_record["speedup"] if floor_record else None,
+        },
+        "workloads": results,
+        "rss_trajectory_kb": rss_trajectory,
+    }
+    out_path = Path(arguments.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"[written to {out_path}]")
+
+    if floor_record is not None:
+        measured = floor_record["speedup"]
+        assert measured >= SPEEDUP_FLOOR, (
+            f"{SPEEDUP_WORKLOAD} combined-path speedup {measured:.2f}x "
+            f"is below the {SPEEDUP_FLOOR}x floor"
+        )
+        print(f"{SPEEDUP_WORKLOAD} speedup {measured:.2f}x >= {SPEEDUP_FLOOR}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,17 @@ Parallel/caching knobs (consumed by :mod:`repro.runtime`):
   configuration executes zero trials; changing any knob that feeds a
   trial (or the trial code itself) invalidates the affected entries.
 
+Counting-kernel knob (consumed by :mod:`repro.stats.kernels`):
+
+* ``REPRO_BLOCK_SIZE`` — rows per block of the blocked A² counting pass
+  (default 0 = auto: rows are packed until a block's predicted product
+  size reaches a fixed entry budget, bounding peak memory).  Any value
+  yields bit-identical statistics; the knob only trades peak memory
+  against per-block overhead.  The stats layer reads the environment at
+  pass time; ``config.block_size`` mirrors the knob so bench artifacts
+  can record it (``benchmarks/bench_stats.py`` writes it into
+  ``BENCH_stats.json``).
+
 CI sets ``REPRO_REALIZATIONS=2`` with ``REPRO_N_JOBS=2`` so one figure
 bench exercises the full parallel harness end-to-end in minutes; paper
 runs use ``REPRO_REALIZATIONS=100`` with as many jobs as the machine has
@@ -59,6 +70,7 @@ class ExperimentConfig:
     seed: int = 20120330  # the PAIS'12 workshop date
     n_jobs: int = 1  # trial-engine workers; 0 or negative = all cores
     cache_dir: str = ""  # trial-cache directory; empty = caching disabled
+    block_size: int = 0  # A²-pass rows per block; 0 = auto-tuned
 
     @property
     def trial_cache(self) -> str | None:
@@ -99,4 +111,5 @@ def default_config() -> ExperimentConfig:
         seed=_env_int("REPRO_SEED", base.seed),
         n_jobs=_env_int("REPRO_N_JOBS", base.n_jobs),
         cache_dir=os.environ.get("REPRO_CACHE_DIR", base.cache_dir),
+        block_size=_env_int("REPRO_BLOCK_SIZE", base.block_size),
     )

@@ -13,6 +13,12 @@ over an ensemble of realizations (the paper uses 100).  The ensembles run
 through :mod:`repro.runtime` — ``config.n_jobs`` fans the realizations
 across worker processes and ``config.cache_dir`` memoizes completed
 trials, with results bit-identical for any worker count.
+
+Within one graph the five statistics share the graph's
+:class:`~repro.stats.kernels.StatsContext`: the clustering series reuses
+the blocked A² pass (also shared with any triangle/sensitivity counts on
+the same graph) and the hop plot reuses the cached float adjacency, so
+per-realization cost is one pass plus the BFS/SVD work.
 """
 
 from __future__ import annotations

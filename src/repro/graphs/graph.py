@@ -49,7 +49,15 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_n_nodes", "_edge_u", "_edge_v", "_adjacency", "_degrees", "_hash")
+    __slots__ = (
+        "_n_nodes",
+        "_edge_u",
+        "_edge_v",
+        "_adjacency",
+        "_degrees",
+        "_hash",
+        "_stats",
+    )
 
     def __init__(self, n_nodes: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if isinstance(n_nodes, bool) or not isinstance(n_nodes, (int, np.integer)):
@@ -79,6 +87,7 @@ class Graph:
         self._adjacency: sp.csr_array | None = None
         self._degrees: np.ndarray | None = None
         self._hash: int | None = None
+        self._stats = None  # lazy StatsContext (see repro.stats.kernels)
 
     # ------------------------------------------------------------------
     # Alternate constructors
@@ -92,6 +101,31 @@ class Graph:
         if u.shape != v.shape or u.ndim != 1:
             raise GraphFormatError("endpoint arrays must be 1-D and the same length")
         return cls(n_nodes, np.column_stack([u, v]) if u.size else np.empty((0, 2), np.int64))
+
+    @classmethod
+    def _from_canonical(cls, n_nodes: int, u: np.ndarray, v: np.ndarray) -> "Graph":
+        """Trusted constructor: endpoint arrays already in canonical form.
+
+        The caller guarantees ``u``/``v`` are parallel int64 arrays with
+        ``u < v`` element-wise, lexicographically sorted, deduplicated, and
+        within ``[0, n_nodes)`` — exactly what :func:`_canonicalize_edges`
+        produces.  Internal hot paths that construct edges canonically by
+        design (the SKG samplers, :meth:`with_edge_flipped`) use this to
+        skip the re-canonicalization round trip; everything else goes
+        through the validating constructors.  The arrays are frozen in
+        place, so callers must hand over ownership.
+        """
+        graph = object.__new__(cls)
+        graph._n_nodes = int(n_nodes)
+        graph._edge_u = np.ascontiguousarray(u, dtype=np.int64)
+        graph._edge_v = np.ascontiguousarray(v, dtype=np.int64)
+        graph._edge_u.setflags(write=False)
+        graph._edge_v.setflags(write=False)
+        graph._adjacency = None
+        graph._degrees = None
+        graph._hash = None
+        graph._stats = None
+        return graph
 
     @classmethod
     def from_dense(cls, matrix: np.ndarray) -> "Graph":
@@ -221,7 +255,10 @@ class Graph:
         """Return a copy with edge ``{a, b}`` toggled (the DP edge neighbour).
 
         This is exactly the "edge neighbourhood" of Definition 4.1 in the
-        paper: graphs at symmetric-difference distance one.
+        paper: graphs at symmetric-difference distance one.  The flip is a
+        binary search plus one ``np.insert``/``np.delete`` on the canonical
+        arrays — O(E) numpy rather than a Python ``edge_set`` round trip —
+        because it sits inside sensitivity sweeps that flip every pair.
         """
         self._check_node(a)
         self._check_node(b)
@@ -229,12 +266,18 @@ class Graph:
             raise ValidationError("cannot flip a self-loop in a simple graph")
         if a > b:
             a, b = b, a
-        current = self.edge_set()
-        if (a, b) in current:
-            current.remove((a, b))
+        u, v = self._edge_u, self._edge_v
+        lo = int(np.searchsorted(u, a, side="left"))
+        hi = int(np.searchsorted(u, a, side="right"))
+        position = lo + int(np.searchsorted(v[lo:hi], b, side="left"))
+        present = position < hi and v[position] == b
+        if present:
+            new_u = np.delete(u, position)
+            new_v = np.delete(v, position)
         else:
-            current.add((a, b))
-        return Graph(self._n_nodes, sorted(current))
+            new_u = np.insert(u, position, a)
+            new_v = np.insert(v, position, b)
+        return Graph._from_canonical(self._n_nodes, new_u, new_v)
 
     # ------------------------------------------------------------------
     # Value-object protocol
@@ -257,6 +300,13 @@ class Graph:
             )
         return self._hash
 
+    def __reduce__(self):
+        # Pickle only the canonical arrays: the derived caches (adjacency,
+        # degrees, stats context) are cheap to rebuild relative to shipping
+        # them across process boundaries, and the trial engine pickles
+        # graphs when results cross worker processes or the on-disk cache.
+        return (_rebuild_canonical, (self._n_nodes, self._edge_u, self._edge_v))
+
     def __repr__(self) -> str:
         return f"Graph(n_nodes={self._n_nodes}, n_edges={self.n_edges})"
 
@@ -271,6 +321,11 @@ class Graph:
             raise ValidationError(
                 f"node {node} out of range for graph with {self._n_nodes} nodes"
             )
+
+
+def _rebuild_canonical(n_nodes: int, u: np.ndarray, v: np.ndarray) -> Graph:
+    """Unpickling hook for :meth:`Graph.__reduce__` (module-level for pickle)."""
+    return Graph._from_canonical(n_nodes, u, v)
 
 
 def _canonicalize_edges(edges: np.ndarray, n_nodes: int) -> tuple[np.ndarray, np.ndarray]:

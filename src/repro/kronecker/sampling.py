@@ -81,10 +81,14 @@ def sample_skg(initiator, k: int, seed: SeedLike = None) -> Graph:
             chunks.append(_sample_class_pairs(rng, k, z, x, count, class_size))
     if not chunks:
         return Graph(n)
-    keys = np.concatenate(chunks)
+    # Keys within a class are distinct and classes are disjoint, so one
+    # global sort yields canonical edge arrays directly: the key
+    # (u << k) | v with u < v orders exactly like the lexicographic (u, v)
+    # pair, which lets the trusted constructor skip re-canonicalization.
+    keys = np.sort(np.concatenate(chunks))
     u = (keys >> np.int64(k)).astype(np.int64)
     v = (keys & np.int64(n - 1)).astype(np.int64)
-    return Graph.from_edge_arrays(n, u, v)
+    return Graph._from_canonical(n, u, v)
 
 
 def _sample_class_pairs(
@@ -162,7 +166,9 @@ def sample_skg_naive(initiator, k: int, seed: SeedLike = None) -> Graph:
             v_list.append(hits.astype(np.int64))
     if not u_list:
         return Graph(n)
-    return Graph.from_edge_arrays(n, np.concatenate(u_list), np.concatenate(v_list))
+    # The row loop emits u ascending with sorted hits v > u per row, so the
+    # concatenated arrays are already canonical.
+    return Graph._from_canonical(n, np.concatenate(u_list), np.concatenate(v_list))
 
 
 def _probability_row(matrix: np.ndarray, u: int, k: int) -> np.ndarray:

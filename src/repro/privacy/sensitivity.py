@@ -29,7 +29,7 @@ import math
 
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
-from repro.stats.counts import max_common_neighbors
+from repro.stats.kernels import stats_context
 from repro.utils.validation import check_in_unit_interval, check_positive
 
 __all__ = [
@@ -42,8 +42,12 @@ __all__ = [
 
 
 def local_sensitivity_triangles(graph: Graph) -> int:
-    """LS_Δ(G): the largest number of common neighbours over node pairs."""
-    return max_common_neighbors(graph)
+    """LS_Δ(G): the largest number of common neighbours over node pairs.
+
+    Served from the graph's memoized A² pass (:mod:`repro.stats.kernels`),
+    so a release that needs both Δ and LS_Δ pays for the product once.
+    """
+    return stats_context(graph).max_common_neighbors
 
 
 def local_sensitivity_at_distance(graph: Graph, s: int) -> int:

@@ -10,8 +10,20 @@ Two groups of functionality:
   ``spectral``, ``clustering``): the five per-graph plots of the paper's
   Figures 1–4 (degree distribution, hop plot, scree plot, network values,
   clustering coefficient by degree).
+
+Everything derived from the sparse product ``A @ A`` is computed by the
+blocked kernels in :mod:`repro.stats.kernels` and memoized per graph in a
+:class:`~repro.stats.kernels.StatsContext`, so the whole per-trial
+pipeline (counts, sensitivity, clustering) runs one A² pass per graph.
+The ``REPRO_BLOCK_SIZE`` environment knob bounds the pass's peak memory.
 """
 
+from repro.stats.kernels import (
+    StatsContext,
+    stats_context,
+    triangle_pass,
+    kernel_pass_count,
+)
 from repro.stats.counts import (
     count_edges,
     count_wedges,
@@ -50,6 +62,10 @@ from repro.stats.comparison import (
 )
 
 __all__ = [
+    "StatsContext",
+    "stats_context",
+    "triangle_pass",
+    "kernel_pass_count",
     "count_edges",
     "count_wedges",
     "count_tripins",

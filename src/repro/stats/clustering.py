@@ -4,6 +4,10 @@ The local clustering coefficient of node v is
 ``c_v = 2 t_v / (d_v (d_v - 1))`` where ``t_v`` is the number of triangles
 through v; nodes of degree < 2 have ``c_v = 0`` by convention (and are
 excluded from by-degree averages, matching Leskovec et al.'s plots).
+
+The triangle numerators come from the graph's memoized blocked A² pass
+(:mod:`repro.stats.kernels`), so clustering shares its one heavy
+computation with the triangle counts and the sensitivity release.
 """
 
 from __future__ import annotations
@@ -11,20 +15,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.graph import Graph
-from repro.stats.counts import triangles_per_node
+from repro.stats.kernels import stats_context
 
 __all__ = ["local_clustering", "average_clustering", "clustering_by_degree"]
 
 
 def local_clustering(graph: Graph) -> np.ndarray:
-    """Local clustering coefficient for every node (0 for degree < 2)."""
-    degrees = graph.degrees.astype(np.float64)
-    triangles = triangles_per_node(graph).astype(np.float64)
-    possible = degrees * (degrees - 1.0) / 2.0
-    coefficients = np.zeros(graph.n_nodes, dtype=np.float64)
-    eligible = possible > 0
-    coefficients[eligible] = triangles[eligible] / possible[eligible]
-    return coefficients
+    """Local clustering coefficient for every node (0 for degree < 2).
+
+    Returns the graph's cached coefficient vector, marked read-only; copy
+    before mutating.
+    """
+    return stats_context(graph).local_clustering
 
 
 def average_clustering(graph: Graph, *, count_low_degree: bool = True) -> float:

@@ -17,6 +17,7 @@ from repro.errors import ValidationError
 __all__ = [
     "relative_error",
     "median_relative_error",
+    "statistics_relative_errors",
     "parameter_error",
     "ks_distance",
     "log_series_distance",
@@ -26,6 +27,26 @@ __all__ = [
 def relative_error(estimate: float, truth: float) -> float:
     """|estimate − truth| / max(|truth|, 1): bounded at zero truth values."""
     return abs(float(estimate) - float(truth)) / max(abs(float(truth)), 1.0)
+
+
+def statistics_relative_errors(estimate, truth) -> dict[str, float]:
+    """Per-feature relative errors of two matching-statistics quadruples.
+
+    Accepts anything unpackable to four floats in (E, H, T, Δ) order —
+    in particular two :class:`~repro.stats.counts.MatchingStatistics` —
+    and returns the field-keyed relative errors the benches and examples
+    report.
+    """
+    estimate = tuple(estimate)
+    truth = tuple(truth)
+    if len(estimate) != 4 or len(truth) != 4:
+        raise ValidationError(
+            "statistics_relative_errors expects (E, H, T, Δ) quadruples"
+        )
+    names = ("edges", "hairpins", "tripins", "triangles")
+    return {
+        name: relative_error(e, t) for name, e, t in zip(names, estimate, truth)
+    }
 
 
 def median_relative_error(estimates: np.ndarray, truths: np.ndarray) -> float:

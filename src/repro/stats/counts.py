@@ -11,6 +11,13 @@ Hairpins and tripins are functions of the degree sequence alone
 derive their DP approximations from a DP degree sequence.  Triangles are
 not, which is why the paper spends the second half of its privacy budget on
 a smooth-sensitivity triangle release.
+
+Everything that consumes the sparse product ``A @ A`` (triangles, per-node
+triangles, the max common-neighbour count) is served by the blocked
+kernels in :mod:`repro.stats.kernels` through a per-graph
+:class:`~repro.stats.kernels.StatsContext`, so repeated calls — and the
+other A² consumers in the privacy and figure layers — share a single
+blocked pass per graph.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from typing import NamedTuple
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.stats.kernels import stats_context
 
 __all__ = [
     "MatchingStatistics",
@@ -54,39 +62,31 @@ def count_edges(graph: Graph) -> int:
 
 def count_wedges(graph: Graph) -> int:
     """Number of hairpins H = Σ_v C(d_v, 2)."""
-    d = graph.degrees.astype(np.int64)
-    return int((d * (d - 1) // 2).sum())
+    return stats_context(graph).wedge_count
 
 
 def count_tripins(graph: Graph) -> int:
     """Number of tripins T = Σ_v C(d_v, 3)."""
-    d = graph.degrees.astype(np.int64)
-    return int((d * (d - 1) * (d - 2) // 6).sum())
+    return stats_context(graph).tripin_count
 
 
 def count_triangles(graph: Graph) -> int:
     """Number of triangles Δ, via Σ_edges |N(u) ∩ N(v)| / 3.
 
-    Computed with one sparse matrix product restricted to edge positions:
-    ``((A @ A) ∘ A).sum() = 6Δ``.
+    Served from the graph's memoized A² pass (:mod:`repro.stats.kernels`),
+    which computes the product restricted to edge positions —
+    ``((A @ A) ∘ A).sum() = 6Δ`` — block by block.
     """
-    if graph.n_edges == 0:
-        return 0
-    adjacency = graph.adjacency.astype(np.int64)
-    paths2 = adjacency @ adjacency
-    on_edges = paths2.multiply(adjacency)
-    return int(on_edges.sum() // 6)
+    return stats_context(graph).triangle_count
 
 
 def triangles_per_node(graph: Graph) -> np.ndarray:
-    """Number of triangles through each node (length ``n_nodes``)."""
-    if graph.n_edges == 0:
-        return np.zeros(graph.n_nodes, dtype=np.int64)
-    adjacency = graph.adjacency.astype(np.int64)
-    paths2 = adjacency @ adjacency
-    on_edges = paths2.multiply(adjacency)
-    per_node = np.asarray(on_edges.sum(axis=1)).ravel() // 2
-    return per_node.astype(np.int64)
+    """Number of triangles through each node (length ``n_nodes``).
+
+    Returns the graph's cached per-node vector, marked read-only; copy
+    before mutating.
+    """
+    return stats_context(graph).triangles_per_node
 
 
 def max_common_neighbors(graph: Graph) -> int:
@@ -95,27 +95,25 @@ def max_common_neighbors(graph: Graph) -> int:
     This is the quantity driving the local sensitivity of the triangle
     count: flipping edge {i, j} changes Δ by exactly |N(i) ∩ N(j)|.  The
     maximum runs over *all* pairs, adjacent or not, because the edge
-    neighbourhood of G includes both additions and deletions.
+    neighbourhood of G includes both additions and deletions.  Served from
+    the same memoized A² pass as the triangle counts.
     """
-    if graph.n_nodes < 2:
-        return 0
-    if graph.n_edges == 0:
-        return 0
-    adjacency = graph.adjacency.astype(np.int64).tocsr()
-    paths2 = (adjacency @ adjacency).tocoo()
-    off_diagonal = paths2.row != paths2.col
-    if not np.any(off_diagonal):
-        return 0
-    return int(paths2.data[off_diagonal].max())
+    return stats_context(graph).max_common_neighbors
 
 
 def matching_statistics(graph: Graph) -> MatchingStatistics:
-    """Exact values of the four matching features of ``graph``."""
+    """Exact values of the four matching features of ``graph``.
+
+    One call touches every statistic the per-trial pipeline needs, but the
+    underlying A² pass still runs at most once per graph: the counts share
+    the graph's :class:`~repro.stats.kernels.StatsContext`.
+    """
+    context = stats_context(graph)
     return MatchingStatistics(
-        edges=float(count_edges(graph)),
-        hairpins=float(count_wedges(graph)),
-        tripins=float(count_tripins(graph)),
-        triangles=float(count_triangles(graph)),
+        edges=float(context.edge_count),
+        hairpins=float(context.wedge_count),
+        tripins=float(context.tripin_count),
+        triangles=float(context.triangle_count),
     )
 
 

@@ -19,6 +19,7 @@ import scipy.sparse.csgraph as csgraph
 
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
+from repro.stats.kernels import stats_context
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer
 
@@ -73,8 +74,14 @@ def hop_plot(
 
 
 def _distance_histogram(graph: Graph, sources: np.ndarray) -> np.ndarray:
-    """Histogram of finite BFS distances from ``sources`` (bin 0 = self pairs)."""
-    adjacency = graph.adjacency.astype(np.float64).tocsr()
+    """Histogram of finite BFS distances from ``sources`` (bin 0 = self pairs).
+
+    ``shortest_path`` needs a float matrix; the O(E) int8 → float64
+    conversion is memoized on the graph's stats context so repeated calls
+    (``hop_plot`` then ``effective_diameter``, or figure reruns on the same
+    graph) convert once instead of per call.
+    """
+    adjacency = stats_context(graph).adjacency_float64
     counts = np.zeros(1, dtype=np.float64)
     for start in range(0, sources.size, _BATCH):
         batch = sources[start : start + _BATCH]

@@ -1,0 +1,404 @@
+"""Blocked sparse counting kernels and the per-graph statistics cache.
+
+Every statistic the pipeline derives from the sparse product ``A @ A`` —
+the triangle total Δ, the per-node triangle vector, the off-diagonal
+maximum common-neighbour count that drives LS_Δ, and the local clustering
+numerators — used to materialize the *full* product independently.  Its
+size is the wedge count, which for the paper's power-law graphs is orders
+of magnitude larger than the edge count, and the pipeline recomputed it up
+to three times per trial (Δ, LS_Δ, clustering).
+
+This module fixes both costs:
+
+* :func:`triangle_pass` computes ``A @ A`` in **row blocks** and streams
+  every reduction out of each block in a single pass, so peak memory is
+  O(block wedges) instead of O(total wedges) and each entry of the product
+  is produced exactly once.  The block size comes from the
+  ``REPRO_BLOCK_SIZE`` environment knob; the auto-tuned default packs rows
+  until a block's predicted product size reaches a fixed entry budget, so
+  small graphs run as one block (no overhead) and large graphs stay within
+  a bounded footprint.
+* :class:`StatsContext` memoizes the pass (plus a few cheap derived
+  quantities and dtype conversions) per :class:`~repro.graphs.graph.Graph`
+  instance, so ``matching_statistics``, the smooth-sensitivity release,
+  and the figure-series clustering all share **one** A² pass per graph.
+
+The pre-blocking implementations are kept below as reference oracles
+(:func:`reference_count_triangles` and friends): the equivalence tests
+assert the blocked kernels bit-match them, and ``benchmarks/bench_stats.py``
+measures the speedup against them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import NamedTuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "TrianglePassResult",
+    "triangle_pass",
+    "StatsContext",
+    "stats_context",
+    "kernel_pass_count",
+    "resolve_block_size",
+    "row_blocks",
+    "reference_count_triangles",
+    "reference_triangles_per_node",
+    "reference_max_common_neighbors",
+]
+
+BLOCK_SIZE_ENV = "REPRO_BLOCK_SIZE"
+
+# Auto-tuning budget: target number of stored entries in one row-block of
+# A @ A.  At int64 data plus index arrays this is roughly 64 MiB per block
+# — small enough to stay cache-friendly on any modern machine, large
+# enough that graphs below ~4M wedges run as a single block.
+AUTO_ENTRY_BUDGET = 1 << 22
+
+# Process-wide count of executed A² passes.  Tests and benches use this to
+# assert the memoization contract: one pass per graph, no matter how many
+# consumers (Δ, LS_Δ, clustering, ...) ask for its reductions.
+_pass_count = 0
+
+
+def kernel_pass_count() -> int:
+    """Number of blocked A² passes executed so far in this process."""
+    return _pass_count
+
+
+class TrianglePassResult(NamedTuple):
+    """Every reduction of ``A @ A`` the pipeline consumes, from one pass.
+
+    Attributes
+    ----------
+    triangles:
+        The triangle total Δ.
+    per_node:
+        Triangles through each node (read-only int64, length ``n_nodes``).
+    max_common_neighbors:
+        ``max_{i ≠ j} |N(i) ∩ N(j)|`` over *all* node pairs — the local
+        sensitivity LS_Δ of the triangle count.
+    n_blocks:
+        How many row blocks the pass used (1 = unblocked equivalent).
+    """
+
+    triangles: int
+    per_node: np.ndarray
+    max_common_neighbors: int
+    n_blocks: int
+
+
+def resolve_block_size(block_size: int | None = None) -> int:
+    """The effective block-size knob: explicit argument, else environment.
+
+    Returns 0 for "auto" (the default): rows are packed into blocks by the
+    predicted product size, see :func:`row_blocks`.
+    """
+    if block_size is None:
+        raw = os.environ.get(BLOCK_SIZE_ENV)
+        if raw is None:
+            return 0
+        try:
+            block_size = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"environment variable {BLOCK_SIZE_ENV} must be an integer, got {raw!r}"
+            )
+    if isinstance(block_size, bool) or not isinstance(block_size, (int, np.integer)):
+        raise ValidationError(f"block size must be an integer, got {block_size!r}")
+    if block_size < 0:
+        raise ValidationError(f"block size must be non-negative, got {block_size}")
+    return int(block_size)
+
+
+def row_blocks(graph: Graph, block_size: int = 0) -> list[tuple[int, int]]:
+    """Partition ``range(n_nodes)`` into the row blocks of the A² pass.
+
+    With ``block_size > 0`` the blocks are fixed-size row ranges.  With
+    ``block_size == 0`` (auto) rows are packed greedily until the block's
+    predicted number of product entries — the exact per-row path-2 count
+    ``(A @ d)_r = Σ_{j ∈ N(r)} d_j``, an upper bound on the block's stored
+    entries — reaches :data:`AUTO_ENTRY_BUDGET`.  Rows whose own bound
+    exceeds the budget get a singleton block.
+    """
+    n = graph.n_nodes
+    if n == 0:
+        return []
+    if block_size > 0:
+        return [(r, min(r + block_size, n)) for r in range(0, n, block_size)]
+    degrees = graph.degrees
+    # Total path-2 count Σ_j d_j² bounds the whole product; when it fits
+    # the budget the common case — one block — needs no per-row analysis.
+    if int((degrees * degrees).sum()) <= AUTO_ENTRY_BUDGET:
+        return [(0, n)]
+    # Per-row path-2 counts; the int8 @ int64 SpMV upcasts to int64.
+    path2 = graph.adjacency @ degrees
+    cumulative = np.cumsum(path2)
+    blocks: list[tuple[int, int]] = []
+    start = 0
+    consumed = 0
+    while start < n:
+        end = int(np.searchsorted(cumulative, consumed + AUTO_ENTRY_BUDGET, side="right"))
+        end = max(end, start + 1)  # always make progress, even past-budget rows
+        end = min(end, n)
+        blocks.append((start, end))
+        consumed = int(cumulative[end - 1])
+        start = end
+    return blocks
+
+
+def _product_dtype(max_degree: int) -> np.dtype:
+    """Smallest signed integer dtype that holds every entry of ``A @ A``.
+
+    Each product entry is ``|N(i) ∩ N(j)|`` (or a degree on the diagonal),
+    both bounded by the maximum degree, so the per-entry arithmetic is
+    exact in any dtype whose range covers it; the narrow dtype roughly
+    halves the product's memory traffic and runtime versus int64.
+    Reductions that can exceed the bound (row sums, the triangle total)
+    are cast to int64 before accumulating.
+    """
+    for candidate in (np.int8, np.int16, np.int32):
+        if max_degree <= np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    return np.dtype(np.int64)
+
+
+def _working_adjacency(graph: Graph) -> sp.csr_array:
+    """The adjacency recast for the pass: narrow values, narrow indices.
+
+    Values go to the smallest dtype that holds every product entry
+    (:func:`_product_dtype`); index arrays drop to int32 when the node and
+    edge counts allow, which scipy then propagates through the product —
+    halving the index traffic of the product, the edge restriction, and
+    the off-diagonal reduction.  Pure representation changes: the
+    arithmetic is unchanged.
+    """
+    dtype = _product_dtype(int(graph.degrees.max()))
+    adjacency = graph.adjacency
+    int32_max = np.iinfo(np.int32).max
+    if (
+        adjacency.indices.dtype != np.int32
+        and graph.n_nodes <= int32_max
+        and adjacency.nnz <= int32_max
+    ):
+        return sp.csr_array(
+            (
+                adjacency.data.astype(dtype, copy=False),
+                adjacency.indices.astype(np.int32),
+                adjacency.indptr.astype(np.int32),
+            ),
+            shape=adjacency.shape,
+        )
+    if adjacency.dtype != dtype:
+        adjacency = adjacency.astype(dtype)
+    return adjacency
+
+
+def triangle_pass(graph: Graph, block_size: int | None = None) -> TrianglePassResult:
+    """One blocked pass over ``A @ A``, streaming every consumer reduction.
+
+    For each row block ``A[r0:r1]`` the sparse product ``A[r0:r1] @ A`` is
+    materialized once; from it the pass extracts
+
+    * per-node triangles for the block's rows (the product restricted to
+      edge positions, halved),
+    * the running off-diagonal maximum (the LS_Δ ingredient),
+
+    then drops the block.  The triangle total is ``Σ_v t_v / 3``.  The
+    product runs in the smallest integer dtype that holds its entries
+    (see :func:`_product_dtype`) and every accumulating reduction is
+    int64, so results bit-match the unblocked int64 reference
+    implementations for every block size.
+    """
+    n = graph.n_nodes
+    per_node = np.zeros(n, dtype=np.int64)
+    if graph.n_edges == 0:
+        per_node.setflags(write=False)
+        return TrianglePassResult(0, per_node, 0, 0)
+
+    global _pass_count
+    _pass_count += 1
+
+    adjacency = _working_adjacency(graph)
+    blocks = row_blocks(graph, resolve_block_size(block_size))
+    max_common = 0
+    for r0, r1 in blocks:
+        rows = adjacency if (r0, r1) == (0, n) else adjacency[r0:r1]
+        product = rows @ adjacency
+        if product.nnz == 0:
+            continue
+        on_edges = product.multiply(rows).astype(np.int64)
+        per_node[r0:r1] = np.asarray(on_edges.sum(axis=1)).ravel() // 2
+        # Off-diagonal max straight off the CSR buffers: expand the row
+        # pointer and reduce with a mask — no COO object, no index copy.
+        # Matching the stored index dtype keeps the comparison allocation-free.
+        row = np.repeat(
+            np.arange(r0, r1, dtype=product.indices.dtype), np.diff(product.indptr)
+        )
+        max_common = max(
+            max_common,
+            int(np.max(product.data, initial=0, where=(product.indices != row))),
+        )
+    per_node.setflags(write=False)
+    return TrianglePassResult(
+        int(per_node.sum()) // 3, per_node, max_common, len(blocks)
+    )
+
+
+class StatsContext:
+    """Memoized per-graph statistics sharing one blocked A² pass.
+
+    Obtained through :func:`stats_context`, which caches one context on
+    each :class:`Graph` instance (alongside the graph's lazy adjacency and
+    degrees), so every consumer in a trial — ``matching_statistics``, the
+    smooth-sensitivity triangle release, the clustering figure series, the
+    hop plot's BFS — shares one computation per graph.
+
+    All cached arrays are read-only; callers that need to mutate must copy.
+    """
+
+    __slots__ = ("_graph", "_block_size", "_pass", "_local_clustering", "_adjacency_float")
+
+    def __init__(self, graph: Graph, block_size: int | None = None) -> None:
+        self._graph = graph
+        self._block_size = block_size
+        self._pass: TrianglePassResult | None = None
+        self._local_clustering: np.ndarray | None = None
+        self._adjacency_float: sp.csr_array | None = None
+
+    @property
+    def graph(self) -> Graph:
+        """The graph this context memoizes."""
+        return self._graph
+
+    def triangle_pass_result(self) -> TrianglePassResult:
+        """The (cached) result of the blocked A² pass."""
+        if self._pass is None:
+            self._pass = triangle_pass(self._graph, self._block_size)
+        return self._pass
+
+    @property
+    def triangle_count(self) -> int:
+        """The triangle total Δ."""
+        return self.triangle_pass_result().triangles
+
+    @property
+    def triangles_per_node(self) -> np.ndarray:
+        """Triangles through each node (read-only int64)."""
+        return self.triangle_pass_result().per_node
+
+    @property
+    def max_common_neighbors(self) -> int:
+        """``max_{i ≠ j} |N(i) ∩ N(j)|`` — the local sensitivity LS_Δ."""
+        return self.triangle_pass_result().max_common_neighbors
+
+    # -- degree-moment pieces (functions of the cached degree sequence) ----
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges E."""
+        return self._graph.n_edges
+
+    @property
+    def wedge_count(self) -> int:
+        """Number of hairpins H = Σ_v C(d_v, 2)."""
+        d = self._graph.degrees
+        return int((d * (d - 1) // 2).sum())
+
+    @property
+    def tripin_count(self) -> int:
+        """Number of tripins T = Σ_v C(d_v, 3)."""
+        d = self._graph.degrees
+        return int((d * (d - 1) * (d - 2) // 6).sum())
+
+    # -- derived caches ----------------------------------------------------
+
+    @property
+    def local_clustering(self) -> np.ndarray:
+        """Local clustering coefficient per node (read-only float64).
+
+        ``c_v = 2 t_v / (d_v (d_v − 1))`` with degree-<2 nodes at 0; the
+        numerators come from the shared A² pass.
+        """
+        if self._local_clustering is None:
+            degrees = self._graph.degrees.astype(np.float64)
+            triangles = self.triangles_per_node.astype(np.float64)
+            possible = degrees * (degrees - 1.0) / 2.0
+            coefficients = np.zeros(self._graph.n_nodes, dtype=np.float64)
+            eligible = possible > 0
+            coefficients[eligible] = triangles[eligible] / possible[eligible]
+            coefficients.setflags(write=False)
+            self._local_clustering = coefficients
+        return self._local_clustering
+
+    @property
+    def adjacency_float64(self) -> sp.csr_array:
+        """The adjacency matrix as a float64 CSR (cached conversion).
+
+        BFS (:mod:`repro.stats.hopplot`) needs a float matrix; converting
+        the int8 adjacency costs O(E) and used to be repaid on every call.
+        """
+        if self._adjacency_float is None:
+            self._adjacency_float = self._graph.adjacency.astype(np.float64).tocsr()
+        return self._adjacency_float
+
+
+def stats_context(graph: Graph) -> StatsContext:
+    """The memoized :class:`StatsContext` of ``graph`` (created on demand).
+
+    The context rides on the graph instance itself (graphs are immutable
+    value objects, so the cache can never go stale) and is dropped with it.
+    """
+    context = graph._stats
+    if context is None:
+        context = StatsContext(graph)
+        graph._stats = context
+    return context
+
+
+# ---------------------------------------------------------------------------
+# Reference oracles: the pre-blocking implementations, one full A @ A
+# product each.  Kept verbatim so the equivalence tests can assert the
+# blocked kernels bit-match them and the bench can measure the speedup.
+# ---------------------------------------------------------------------------
+
+
+def reference_count_triangles(graph: Graph) -> int:
+    """Pre-blocking Δ: ``((A @ A) ∘ A).sum() = 6Δ`` on the full product."""
+    if graph.n_edges == 0:
+        return 0
+    adjacency = graph.adjacency.astype(np.int64)
+    paths2 = adjacency @ adjacency
+    on_edges = paths2.multiply(adjacency)
+    return int(on_edges.sum() // 6)
+
+
+def reference_triangles_per_node(graph: Graph) -> np.ndarray:
+    """Pre-blocking per-node triangle vector, full product."""
+    if graph.n_edges == 0:
+        return np.zeros(graph.n_nodes, dtype=np.int64)
+    adjacency = graph.adjacency.astype(np.int64)
+    paths2 = adjacency @ adjacency
+    on_edges = paths2.multiply(adjacency)
+    per_node = np.asarray(on_edges.sum(axis=1)).ravel() // 2
+    return per_node.astype(np.int64)
+
+
+def reference_max_common_neighbors(graph: Graph) -> int:
+    """Pre-blocking LS_Δ: off-diagonal max of the full product."""
+    if graph.n_nodes < 2:
+        return 0
+    if graph.n_edges == 0:
+        return 0
+    adjacency = graph.adjacency.astype(np.int64).tocsr()
+    paths2 = (adjacency @ adjacency).tocoo()
+    off_diagonal = paths2.row != paths2.col
+    if not np.any(off_diagonal):
+        return 0
+    return int(paths2.data[off_diagonal].max())

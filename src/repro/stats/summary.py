@@ -2,7 +2,9 @@
 
 :func:`summarize` gathers the counts and headline statistics that the
 examples and the evaluation harness report, in a single frozen dataclass
-that renders nicely.
+that renders nicely.  The triangle count and the clustering coefficient
+both derive from the graph's memoized A² pass
+(:mod:`repro.stats.kernels`), so one summary costs one blocked pass.
 """
 
 from __future__ import annotations

@@ -198,6 +198,71 @@ class TestEdgeFlip:
         with pytest.raises(ValidationError):
             triangle.with_edge_flipped(1, 1)
 
+    def test_flip_accepts_unordered_endpoints(self, path4):
+        assert path4.with_edge_flipped(3, 0) == path4.with_edge_flipped(0, 3)
+
+    def test_flip_does_not_mutate_original(self, triangle):
+        edges_before = triangle.edge_set()
+        triangle.with_edge_flipped(0, 1)
+        assert triangle.edge_set() == edges_before
+
+    @given(edge_lists(), st.data())
+    @settings(max_examples=60)
+    def test_flip_matches_set_semantics(self, n_and_edges, data):
+        """The vectorized flip equals the definitional edge-set toggle."""
+        n, edges = n_and_edges
+        if n < 2:
+            return
+        graph = Graph(n, edges)
+        a = data.draw(st.integers(min_value=0, max_value=n - 1))
+        b = data.draw(st.integers(min_value=0, max_value=n - 1))
+        if a == b:
+            return
+        expected = graph.edge_set() ^ {(min(a, b), max(a, b))}
+        flipped = graph.with_edge_flipped(a, b)
+        assert flipped == Graph(n, sorted(expected))
+        # The result must itself be canonical (it skips re-canonicalization).
+        u, v = flipped.edge_arrays
+        assert np.all(u < v)
+        keys = u * n + v
+        assert keys.size < 2 or np.all(np.diff(keys) > 0)
+
+
+class TestTrustedConstructor:
+    def test_matches_validating_constructor(self):
+        graph = Graph(6, [(0, 1), (0, 2), (1, 2), (3, 5)])
+        trusted = Graph._from_canonical(graph.n_nodes, *graph.edge_arrays)
+        assert trusted == graph
+        assert trusted.edge_set() == graph.edge_set()
+        np.testing.assert_array_equal(trusted.degrees, graph.degrees)
+
+    def test_arrays_are_frozen(self):
+        graph = Graph._from_canonical(
+            4, np.array([0, 1], dtype=np.int64), np.array([2, 3], dtype=np.int64)
+        )
+        u, _v = graph.edge_arrays
+        assert not u.flags.writeable
+
+
+class TestPickle:
+    def test_roundtrip_preserves_value(self, square_with_diagonal):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(square_with_diagonal))
+        assert clone == square_with_diagonal
+        assert hash(clone) == hash(square_with_diagonal)
+
+    def test_roundtrip_drops_derived_caches(self, triangle):
+        import pickle
+
+        triangle.adjacency  # populate caches on the source
+        triangle.degrees
+        clone = pickle.loads(pickle.dumps(triangle))
+        assert clone._adjacency is None
+        assert clone._degrees is None
+        assert clone._stats is None
+        np.testing.assert_array_equal(clone.degrees, triangle.degrees)
+
 
 class TestGraphProperties:
     @given(edge_lists())

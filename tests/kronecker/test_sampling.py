@@ -147,6 +147,21 @@ class TestSamplerProperties:
         assert graph.n_nodes == 2**14
         assert 0.8 * expected < graph.n_edges < 1.2 * expected
 
+    @pytest.mark.parametrize(
+        "sampler, k", [(sample_skg, 9), (sample_skg_naive, 6)]
+    )
+    def test_output_is_canonical(self, sampler, k):
+        # Both samplers feed the trusted Graph constructor, so the arrays
+        # they hand over must already satisfy the canonical invariants.
+        graph = sampler((0.9, 0.5, 0.3), k, seed=3)
+        u, v = graph.edge_arrays
+        assert u.size == graph.n_edges > 0
+        assert np.all(u < v)
+        keys = u * graph.n_nodes + v
+        assert np.all(np.diff(keys) > 0)
+        rebuilt = type(graph).from_edge_arrays(graph.n_nodes, u, v)
+        assert rebuilt == graph
+
 
 class TestDistributionalEquality:
     """Stronger check: full per-class edge-count distributions agree."""
