@@ -1,4 +1,4 @@
-"""EXP-K1 — blocked counting kernels vs the pre-PR full-product path.
+"""EXP-K1 — counting-kernel backends vs the pre-PR full-product path.
 
 Measures the combined per-trial statistics path (the triangle count Δ,
 the local sensitivity LS_Δ, and the local clustering coefficients) on
@@ -10,20 +10,31 @@ datasets, comparing
   sparse product ``A @ A`` once per consumer: three products per trial;
 * **kernels** — the blocked single-pass engine behind the per-graph
   :class:`~repro.stats.kernels.StatsContext`: one pass per graph, shared
-  by every consumer.
+  by every consumer, run through the default (``auto``) backend.
+
+On top of the combined path, each workload records the **backend
+trajectory** of the pass itself — the blocked ``scipy`` SpGEMM versus the
+fused ``numba`` and compiled-C ``cext`` kernels, each timed on the same
+pass and checked bit-identical — and a **parallel trajectory**: the pass
+forced into many row blocks and fanned across the :mod:`repro.runtime`
+pool at n_jobs ∈ {1, 2, 4}.  Backends the host cannot run are recorded
+as unavailable with the reason, so the artifact states exactly what was
+measured where.
 
 Counts must be bit-identical; the k=14 draw must show a >= 3x wall-clock
-speedup on the combined path.  Results (wall-clock, tracemalloc peaks,
-and the process peak-RSS trajectory) are written to
-``benchmarks/out/BENCH_stats.json`` so the gain is a recorded artifact.
+speedup on the combined path, and — when a fused backend is available —
+a >= 2x pass speedup over the blocked scipy pass.  Results (wall-clock,
+tracemalloc peaks, and the process peak-RSS trajectory) are written to
+``benchmarks/out/BENCH_stats.json`` so the gains are recorded artifacts.
 
 Run directly (no pytest needed)::
 
-    python benchmarks/bench_stats.py            # full matrix, asserts 3x
+    python benchmarks/bench_stats.py            # full matrix, asserts floors
     python benchmarks/bench_stats.py --quick    # CI smoke subset
 
 Knobs: ``REPRO_BLOCK_SIZE`` caps the pass's rows per block (the bench
-also records a forced 256-row blocked run to show the memory head-room).
+also records a forced 256-row blocked run to show the memory head-room);
+``REPRO_KERNEL_BACKEND`` selects the combined path's engine.
 """
 
 from __future__ import annotations
@@ -48,10 +59,10 @@ from repro.graphs.datasets import load_dataset
 from repro.graphs.graph import Graph
 from repro.kronecker.initiator import Initiator
 from repro.kronecker.sampling import sample_skg
-from repro.stats import kernels
+from repro.stats import _fused, kernels
 from repro.stats.clustering import local_clustering
 from repro.stats.counts import count_triangles, max_common_neighbors
-from repro.stats.kernels import stats_context
+from repro.stats.kernels import available_kernel_backends, stats_context, triangle_pass
 
 OUT_PATH = Path(__file__).parent / "out" / "BENCH_stats.json"
 THETA = Initiator(0.99, 0.45, 0.25)  # the paper's synthetic initiator
@@ -59,6 +70,11 @@ SEED = 20120330
 SPEEDUP_FLOOR = 3.0
 SPEEDUP_WORKLOAD = "skg-k14"
 FORCED_BLOCK_SIZE = 256
+# Fused kernels must beat the blocked scipy pass by this factor on the
+# floor workload (pass-vs-pass, not the combined consumer path).
+FUSED_SPEEDUP_FLOOR = 2.0
+PARALLEL_N_JOBS = (1, 2, 4)
+PARALLEL_TARGET_BLOCKS = 32
 
 
 def baseline_combined(graph: Graph):
@@ -115,6 +131,71 @@ def max_rss_kb() -> int:
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
+def bench_backends(graph: Graph, repeats: int) -> dict:
+    """Pass-vs-pass backend trajectory: blocked scipy vs the fused kernels.
+
+    Every available backend is timed on the same warm graph and checked
+    bit-identical against the scipy pass; unavailable backends are
+    recorded with the reason so the artifact is explicit about coverage.
+    """
+    scipy_result = triangle_pass(graph, None, "scipy")
+    records: dict[str, dict] = {}
+    for backend in ("scipy",) + _fused.FUSED_BACKENDS:
+        if backend != "scipy" and not _fused.backend_available(backend):
+            records[backend] = {
+                "available": False,
+                "reason": _fused.backend_error(backend),
+            }
+            continue
+        result = triangle_pass(graph, None, backend)
+        identical = (
+            result.triangles == scipy_result.triangles
+            and result.max_common_neighbors == scipy_result.max_common_neighbors
+            and np.array_equal(result.per_node, scipy_result.per_node)
+        )
+        if not identical:
+            raise AssertionError(f"backend {backend} diverges from the scipy pass")
+        seconds = time_best(lambda: triangle_pass(graph, None, backend), repeats)
+        records[backend] = {"available": True, "seconds": seconds}
+    scipy_seconds = records["scipy"]["seconds"]
+    for record in records.values():
+        if record.get("available"):
+            record["speedup_vs_scipy"] = scipy_seconds / record["seconds"]
+    return records
+
+
+def bench_parallel(graph: Graph, repeats: int) -> dict:
+    """Block fan-out trajectory: the same pass at n_jobs in {1, 2, 4}.
+
+    The block size is forced so the pass splits into many blocks (the
+    auto budget would make graphs this small single-block); n_jobs=1 is
+    the in-process reduction over those blocks, larger values fan the
+    block groups across the repro.runtime pool.  Results are asserted
+    bit-identical across worker counts.
+    """
+    block_size = max(1, -(-graph.n_nodes // PARALLEL_TARGET_BLOCKS))
+    serial = triangle_pass(graph, block_size, n_jobs=1)
+    jobs: dict[str, float] = {}
+    for n_jobs in PARALLEL_N_JOBS:
+        result = triangle_pass(graph, block_size, n_jobs=n_jobs)
+        if not (
+            result.triangles == serial.triangles
+            and result.max_common_neighbors == serial.max_common_neighbors
+            and np.array_equal(result.per_node, serial.per_node)
+        ):
+            raise AssertionError(f"parallel pass diverges at n_jobs={n_jobs}")
+        jobs[str(n_jobs)] = time_best(
+            lambda: triangle_pass(graph, block_size, n_jobs=n_jobs),
+            max(2, repeats // 2),
+        )
+    return {
+        "block_size": block_size,
+        "n_blocks": serial.n_blocks,
+        "bit_identical": True,
+        "seconds_by_n_jobs": jobs,
+    }
+
+
 def bench_workload(name: str, graph: Graph, repeats: int) -> dict:
     graph.adjacency
     graph.degrees
@@ -161,6 +242,8 @@ def bench_workload(name: str, graph: Graph, repeats: int) -> dict:
         "kernel_peak_bytes": kernel_peak,
         f"kernel_block{FORCED_BLOCK_SIZE}_peak_bytes": blocked_peak,
         "counts_identical": identical,
+        "backends": bench_backends(graph, repeats),
+        "parallel": bench_parallel(graph, repeats),
     }
     return record
 
@@ -209,23 +292,37 @@ def main(argv: list[str] | None = None) -> int:
             f"kernels {record['kernel_seconds'] * 1000:7.1f} ms  "
             f"speedup {record['speedup']:.2f}x  bit-identical={record['counts_identical']}"
         )
+        for backend, entry in record["backends"].items():
+            if entry.get("available"):
+                print(
+                    f"{'':12s}   pass[{backend}] {entry['seconds'] * 1000:7.2f} ms "
+                    f"({entry['speedup_vs_scipy']:.2f}x vs scipy)"
+                )
+            else:
+                print(f"{'':12s}   pass[{backend}] unavailable: {entry['reason']}")
 
     floor_record = next(
         (r for r in results if r["workload"] == SPEEDUP_WORKLOAD), None
     )
+    fused_floor = _fused_floor(floor_record)
+    configuration = default_config()
     report = {
         "bench": "bench_stats",
         "quick": arguments.quick,
         "repeats": arguments.repeats,
         "combined_path": "triangles + local sensitivity + local clustering",
         # Provenance via the shared experiment configuration, which mirrors
-        # the REPRO_BLOCK_SIZE knob the kernels consult at pass time.
-        "block_size": default_config().block_size,
+        # the REPRO_BLOCK_SIZE / REPRO_KERNEL_BACKEND knobs the kernels
+        # consult at pass time.
+        "block_size": configuration.block_size,
+        "kernel_backend": configuration.kernel_backend,
+        "kernel_backends_available": list(available_kernel_backends()),
         "speedup_floor": {
             "workload": SPEEDUP_WORKLOAD,
             "required": SPEEDUP_FLOOR,
             "measured": floor_record["speedup"] if floor_record else None,
         },
+        "fused_speedup_floor": fused_floor,
         "workloads": results,
         "rss_trajectory_kb": rss_trajectory,
     }
@@ -241,7 +338,43 @@ def main(argv: list[str] | None = None) -> int:
             f"is below the {SPEEDUP_FLOOR}x floor"
         )
         print(f"{SPEEDUP_WORKLOAD} speedup {measured:.2f}x >= {SPEEDUP_FLOOR}x floor")
+        if fused_floor["backend"] is not None:
+            assert fused_floor["measured"] >= FUSED_SPEEDUP_FLOOR, (
+                f"fused backend {fused_floor['backend']} is only "
+                f"{fused_floor['measured']:.2f}x over the blocked scipy pass "
+                f"on {SPEEDUP_WORKLOAD} (floor: {FUSED_SPEEDUP_FLOOR}x)"
+            )
+            print(
+                f"{SPEEDUP_WORKLOAD} fused pass ({fused_floor['backend']}) "
+                f"{fused_floor['measured']:.2f}x >= {FUSED_SPEEDUP_FLOOR}x floor"
+            )
+        else:
+            print(
+                "no fused backend available on this host; "
+                "fused floor not asserted"
+            )
     return 0
+
+
+def _fused_floor(floor_record: dict | None) -> dict:
+    """The fastest available fused backend on the floor workload."""
+    entry = {
+        "workload": SPEEDUP_WORKLOAD,
+        "required": FUSED_SPEEDUP_FLOOR,
+        "backend": None,
+        "measured": None,
+    }
+    if floor_record is None:
+        return entry
+    fused = {
+        backend: record["speedup_vs_scipy"]
+        for backend, record in floor_record["backends"].items()
+        if backend != "scipy" and record.get("available")
+    }
+    if fused:
+        entry["backend"] = max(fused, key=fused.get)
+        entry["measured"] = fused[entry["backend"]]
+    return entry
 
 
 if __name__ == "__main__":

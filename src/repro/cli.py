@@ -35,8 +35,13 @@ to a SNAP-format edge list (optionally gzipped).
 
 The global ``--block-size N`` option (before the subcommand) bounds the
 peak memory of the blocked A² counting pass by running it N rows at a
-time; the default 0 auto-tunes the block size from a memory budget.  All
-statistics are bit-identical for any value (``repro --block-size 64
+time; the default 0 auto-tunes the block size from a memory budget.  The
+global ``--kernel-backend {auto,scipy,numba,cext}`` option selects the
+pass's execution engine: ``auto`` (default) prefers the fused kernels
+(numba-jitted when numba is installed, else the compiled-C ``cext``) and
+falls back to the blocked scipy SpGEMM; naming an unavailable backend
+fails with a clear error.  All statistics are bit-identical for any block
+size and backend (``repro --block-size 64 --kernel-backend scipy
 summarize ca-grqc`` equals ``repro summarize ca-grqc``).
 """
 
@@ -55,7 +60,12 @@ from repro.core.estimator import PrivateKroneckerEstimator
 from repro.core.nonprivate import fit_kronfit, fit_kronmom
 from repro.kronecker.initiator import Initiator
 from repro.kronecker.sampling import sample_skg
-from repro.stats.kernels import resolve_block_size
+from repro.stats.kernels import (
+    KERNEL_BACKEND_ENV,
+    KERNEL_BACKENDS,
+    resolve_block_size,
+    resolve_kernel_backend,
+)
 from repro.stats.summary import summarize
 from repro.utils.tables import TextTable
 from repro.utils.validation import check_integer
@@ -78,6 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
             "rows per block of the A² counting pass (sets REPRO_BLOCK_SIZE; "
             "0 = auto-tuned by memory budget; statistics are bit-identical "
             "for any value)"
+        ),
+    )
+    parser.add_argument(
+        "--kernel-backend",
+        choices=KERNEL_BACKENDS,
+        default=None,
+        dest="kernel_backend",
+        help=(
+            "execution engine of the A² counting pass (sets "
+            "REPRO_KERNEL_BACKEND; auto prefers the fused numba/C kernels "
+            "and falls back to scipy; statistics are bit-identical for any "
+            "backend)"
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -183,6 +205,12 @@ def main(argv: list[str] | None = None) -> int:
             # counting kernels read REPRO_BLOCK_SIZE at pass time.
             resolve_block_size(arguments.block_size)
             os.environ["REPRO_BLOCK_SIZE"] = str(arguments.block_size)
+        if arguments.kernel_backend is not None:
+            # Same pattern; resolving eagerly makes an unavailable backend
+            # (e.g. --kernel-backend numba without numba) fail loudly here
+            # rather than mid-pipeline.
+            resolve_kernel_backend(arguments.kernel_backend)
+            os.environ[KERNEL_BACKEND_ENV] = arguments.kernel_backend
         handler = _HANDLERS[arguments.command]
         return handler(arguments)
     except ReproError as error:

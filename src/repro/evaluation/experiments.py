@@ -23,7 +23,7 @@ Parallel/caching knobs (consumed by :mod:`repro.runtime`):
   configuration executes zero trials; changing any knob that feeds a
   trial (or the trial code itself) invalidates the affected entries.
 
-Counting-kernel knob (consumed by :mod:`repro.stats.kernels`):
+Counting-kernel knobs (consumed by :mod:`repro.stats.kernels`):
 
 * ``REPRO_BLOCK_SIZE`` — rows per block of the blocked A² counting pass
   (default 0 = auto: rows are packed until a block's predicted product
@@ -33,6 +33,13 @@ Counting-kernel knob (consumed by :mod:`repro.stats.kernels`):
   pass time; ``config.block_size`` mirrors the knob so bench artifacts
   can record it (``benchmarks/bench_stats.py`` writes it into
   ``BENCH_stats.json``).
+* ``REPRO_KERNEL_BACKEND`` — execution engine of the pass (default
+  ``auto``).  ``auto`` prefers the fused kernels — ``numba`` when numba
+  is installed, else the compiled-C ``cext`` — and silently falls back
+  to the blocked ``scipy`` SpGEMM; naming an unavailable backend fails
+  loudly at pass time.  Statistics are bit-identical across backends;
+  the knob only selects how fast they are computed.  Mirrored as
+  ``config.kernel_backend`` for bench provenance, like the block size.
 
 CI sets ``REPRO_REALIZATIONS=2`` with ``REPRO_N_JOBS=2`` so one figure
 bench exercises the full parallel harness end-to-end in minutes; paper
@@ -45,6 +52,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+
+from repro.stats.kernels import KERNEL_BACKENDS
 
 __all__ = ["ExperimentConfig", "default_config", "FIGURE_DATASETS"]
 
@@ -71,6 +80,7 @@ class ExperimentConfig:
     n_jobs: int = 1  # trial-engine workers; 0 or negative = all cores
     cache_dir: str = ""  # trial-cache directory; empty = caching disabled
     block_size: int = 0  # A²-pass rows per block; 0 = auto-tuned
+    kernel_backend: str = "auto"  # A²-pass engine; auto = fused if available
 
     @property
     def trial_cache(self) -> str | None:
@@ -86,6 +96,17 @@ def _env_int(name: str, fallback: int) -> int:
         return int(raw)
     except ValueError:
         raise ValueError(f"environment variable {name} must be an integer, got {raw!r}")
+
+
+def _env_choice(name: str, fallback: str, choices: tuple[str, ...]) -> str:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return fallback
+    if raw not in choices:
+        raise ValueError(
+            f"environment variable {name} must be one of {', '.join(choices)}, got {raw!r}"
+        )
+    return raw
 
 
 def _env_float(name: str, fallback: float) -> float:
@@ -112,4 +133,7 @@ def default_config() -> ExperimentConfig:
         n_jobs=_env_int("REPRO_N_JOBS", base.n_jobs),
         cache_dir=os.environ.get("REPRO_CACHE_DIR", base.cache_dir),
         block_size=_env_int("REPRO_BLOCK_SIZE", base.block_size),
+        kernel_backend=_env_choice(
+            "REPRO_KERNEL_BACKEND", base.kernel_backend, KERNEL_BACKENDS
+        ),
     )

@@ -14,8 +14,11 @@ Two groups of functionality:
 Everything derived from the sparse product ``A @ A`` is computed by the
 blocked kernels in :mod:`repro.stats.kernels` and memoized per graph in a
 :class:`~repro.stats.kernels.StatsContext`, so the whole per-trial
-pipeline (counts, sensitivity, clustering) runs one A² pass per graph.
-The ``REPRO_BLOCK_SIZE`` environment knob bounds the pass's peak memory.
+pipeline (counts, sensitivity, clustering, spectra) runs one A² pass and
+one truncated SVD per graph.  The ``REPRO_BLOCK_SIZE`` environment knob
+bounds the pass's peak memory; ``REPRO_KERNEL_BACKEND`` selects the
+execution engine (``auto`` | ``scipy`` | ``numba`` | ``cext`` — all
+bit-identical, the fused kernels just run faster).
 """
 
 from repro.stats.kernels import (
@@ -23,6 +26,9 @@ from repro.stats.kernels import (
     stats_context,
     triangle_pass,
     kernel_pass_count,
+    float64_conversion_count,
+    resolve_kernel_backend,
+    available_kernel_backends,
 )
 from repro.stats.counts import (
     count_edges,
@@ -66,6 +72,9 @@ __all__ = [
     "stats_context",
     "triangle_pass",
     "kernel_pass_count",
+    "float64_conversion_count",
+    "resolve_kernel_backend",
+    "available_kernel_backends",
     "count_edges",
     "count_wedges",
     "count_tripins",

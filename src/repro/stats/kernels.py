@@ -1,4 +1,4 @@
-"""Blocked sparse counting kernels and the per-graph statistics cache.
+"""Counting kernels (blocked scipy + fused backends) and the per-graph cache.
 
 Every statistic the pipeline derives from the sparse product ``A @ A`` —
 the triangle total Δ, the per-node triangle vector, the off-diagonal
@@ -10,23 +10,39 @@ to three times per trial (Δ, LS_Δ, clustering).
 
 This module fixes both costs:
 
-* :func:`triangle_pass` computes ``A @ A`` in **row blocks** and streams
-  every reduction out of each block in a single pass, so peak memory is
-  O(block wedges) instead of O(total wedges) and each entry of the product
-  is produced exactly once.  The block size comes from the
-  ``REPRO_BLOCK_SIZE`` environment knob; the auto-tuned default packs rows
-  until a block's predicted product size reaches a fixed entry budget, so
-  small graphs run as one block (no overhead) and large graphs stay within
-  a bounded footprint.
-* :class:`StatsContext` memoizes the pass (plus a few cheap derived
-  quantities and dtype conversions) per :class:`~repro.graphs.graph.Graph`
-  instance, so ``matching_statistics``, the smooth-sensitivity release,
-  and the figure-series clustering all share **one** A² pass per graph.
+* :func:`triangle_pass` computes every reduction of ``A @ A`` in **row
+  blocks**, streaming the results out of each block in a single pass, so
+  peak memory is bounded and each path-2 contribution is produced exactly
+  once.  The block size comes from the ``REPRO_BLOCK_SIZE`` environment
+  knob; the auto-tuned default packs rows until a block's predicted
+  product size reaches a fixed entry budget, so small graphs run as one
+  block (no overhead) and large graphs stay within a bounded footprint.
+* Three interchangeable **backends** execute the pass, selected by the
+  ``REPRO_KERNEL_BACKEND`` knob (``auto`` | ``scipy`` | ``numba`` |
+  ``cext``): the blocked scipy SpGEMM, and two *fused* kernels
+  (:mod:`repro.stats._fused`) that walk the CSR rows directly with a
+  dense accumulator and never materialize a product entry — a
+  numba-jitted loop nest when numba is installed, and the same loop nest
+  compiled from C through the system compiler.  ``auto`` (the default)
+  prefers the fused kernels and silently falls back to scipy; naming an
+  unavailable backend fails loudly with a :class:`ValidationError`.  All
+  arithmetic is integer-exact, so every backend returns **bit-identical**
+  results for every block size (enforced by
+  ``tests/stats/test_backend_equivalence.py``).
+* For large graphs the row blocks are embarrassingly parallel:
+  ``triangle_pass(..., n_jobs=4)`` fans contiguous block groups across
+  the :mod:`repro.runtime` process pool with a deterministic positional
+  reduction, so results are bit-identical at any worker count.
+* :class:`StatsContext` memoizes the pass (plus derived quantities,
+  dtype conversions, and truncated-SVD triplets) per
+  :class:`~repro.graphs.graph.Graph` instance, so ``matching_statistics``,
+  the smooth-sensitivity release, the figure-series clustering, and the
+  spectral statistics all share **one** computation of everything.
 
 The pre-blocking implementations are kept below as reference oracles
 (:func:`reference_count_triangles` and friends): the equivalence tests
-assert the blocked kernels bit-match them, and ``benchmarks/bench_stats.py``
-measures the speedup against them.
+assert every backend bit-matches them, and ``benchmarks/bench_stats.py``
+measures the speedups against them.
 """
 
 from __future__ import annotations
@@ -39,6 +55,8 @@ import scipy.sparse as sp
 
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
+from repro.stats import _fused
+from repro.utils.validation import check_integer
 
 __all__ = [
     "TrianglePassResult",
@@ -46,14 +64,25 @@ __all__ = [
     "StatsContext",
     "stats_context",
     "kernel_pass_count",
+    "float64_conversion_count",
     "resolve_block_size",
+    "resolve_kernel_backend",
+    "available_kernel_backends",
     "row_blocks",
     "reference_count_triangles",
     "reference_triangles_per_node",
     "reference_max_common_neighbors",
+    "BLOCK_SIZE_ENV",
+    "KERNEL_BACKEND_ENV",
+    "KERNEL_BACKENDS",
 ]
 
 BLOCK_SIZE_ENV = "REPRO_BLOCK_SIZE"
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+# Accepted values of the backend knob.  "auto" resolves to the first
+# available entry of _fused.FUSED_BACKENDS, else "scipy".
+KERNEL_BACKENDS = ("auto", "scipy") + _fused.FUSED_BACKENDS
 
 # Auto-tuning budget: target number of stored entries in one row-block of
 # A @ A.  At int64 data plus index arrays this is roughly 64 MiB per block
@@ -66,10 +95,21 @@ AUTO_ENTRY_BUDGET = 1 << 22
 # consumers (Δ, LS_Δ, clustering, ...) ask for its reductions.
 _pass_count = 0
 
+# Process-wide count of int8→float64 adjacency conversions (and the CSC
+# re-layout for ARPACK).  The spectral/hop-plot memoization contract —
+# repeated figure calls trigger zero extra conversions — is asserted
+# against this counter.
+_float64_conversions = 0
+
 
 def kernel_pass_count() -> int:
     """Number of blocked A² passes executed so far in this process."""
     return _pass_count
+
+
+def float64_conversion_count() -> int:
+    """Number of float64 adjacency materializations so far in this process."""
+    return _float64_conversions
 
 
 class TrianglePassResult(NamedTuple):
@@ -86,12 +126,18 @@ class TrianglePassResult(NamedTuple):
         sensitivity LS_Δ of the triangle count.
     n_blocks:
         How many row blocks the pass used (1 = unblocked equivalent).
+    wedges:
+        Number of hairpins H = Σ_v C(d_v, 2).
+    tripins:
+        Number of tripins T = Σ_v C(d_v, 3).
     """
 
     triangles: int
     per_node: np.ndarray
     max_common_neighbors: int
     n_blocks: int
+    wedges: int
+    tripins: int
 
 
 def resolve_block_size(block_size: int | None = None) -> int:
@@ -115,6 +161,53 @@ def resolve_block_size(block_size: int | None = None) -> int:
     if block_size < 0:
         raise ValidationError(f"block size must be non-negative, got {block_size}")
     return int(block_size)
+
+
+def resolve_kernel_backend(backend: str | None = None) -> str:
+    """The concrete backend the pass will run: argument, else environment.
+
+    ``auto`` (the default) resolves to the first available fused backend —
+    ``numba``, then the compiled-C ``cext`` — and silently falls back to
+    ``scipy`` when neither can run on this host.  Explicitly requesting an
+    unavailable backend raises a :class:`ValidationError` naming the
+    reason, so a pipeline that *expects* the fused kernels fails loudly
+    instead of quietly running slower.  Every backend returns bit-identical
+    statistics; the knob only selects the execution engine.
+    """
+    source = "argument"
+    if backend is None:
+        raw = os.environ.get(KERNEL_BACKEND_ENV)
+        if not raw:  # unset or empty = auto
+            return _auto_backend()
+        backend = raw
+        source = f"environment variable {KERNEL_BACKEND_ENV}"
+    if not isinstance(backend, str) or backend not in KERNEL_BACKENDS:
+        raise ValidationError(
+            f"kernel backend (from {source}) must be one of "
+            f"{', '.join(KERNEL_BACKENDS)}, got {backend!r}"
+        )
+    if backend == "auto":
+        return _auto_backend()
+    if backend != "scipy" and not _fused.backend_available(backend):
+        raise ValidationError(
+            f"kernel backend {backend!r} (from {source}) is unavailable on "
+            f"this host: {_fused.backend_error(backend)}"
+        )
+    return backend
+
+
+def _auto_backend() -> str:
+    for candidate in _fused.FUSED_BACKENDS:
+        if _fused.backend_available(candidate):
+            return candidate
+    return "scipy"
+
+
+def available_kernel_backends() -> tuple[str, ...]:
+    """The concrete backends that can run on this host (scipy always can)."""
+    return ("scipy",) + tuple(
+        name for name in _fused.FUSED_BACKENDS if _fused.backend_available(name)
+    )
 
 
 def row_blocks(graph: Graph, block_size: int = 0) -> list[tuple[int, int]]:
@@ -170,7 +263,7 @@ def _product_dtype(max_degree: int) -> np.dtype:
 
 
 def _working_adjacency(graph: Graph) -> sp.csr_array:
-    """The adjacency recast for the pass: narrow values, narrow indices.
+    """The adjacency recast for the scipy pass: narrow values and indices.
 
     Values go to the smallest dtype that holds every product entry
     (:func:`_product_dtype`); index arrays drop to int32 when the node and
@@ -200,33 +293,143 @@ def _working_adjacency(graph: Graph) -> sp.csr_array:
     return adjacency
 
 
-def triangle_pass(graph: Graph, block_size: int | None = None) -> TrianglePassResult:
+def _fused_csr_arrays(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """The int32 CSR structure the fused kernels walk (values are implied 1)."""
+    adjacency = graph.adjacency
+    indptr = np.ascontiguousarray(adjacency.indptr, dtype=np.int32)
+    indices = np.ascontiguousarray(adjacency.indices, dtype=np.int32)
+    return indptr, indices
+
+
+def _int32_indexable(graph: Graph) -> bool:
+    """Whether the fused kernels' int32 CSR structure can address the graph."""
+    limit = np.iinfo(np.int32).max
+    return graph.n_nodes < limit and 2 * graph.n_edges < limit
+
+
+def triangle_pass(
+    graph: Graph,
+    block_size: int | None = None,
+    backend: str | None = None,
+    n_jobs: int = 1,
+) -> TrianglePassResult:
     """One blocked pass over ``A @ A``, streaming every consumer reduction.
 
-    For each row block ``A[r0:r1]`` the sparse product ``A[r0:r1] @ A`` is
-    materialized once; from it the pass extracts
+    For each row block ``A[r0:r1]`` the selected backend produces
 
     * per-node triangles for the block's rows (the product restricted to
       edge positions, halved),
     * the running off-diagonal maximum (the LS_Δ ingredient),
 
-    then drops the block.  The triangle total is ``Σ_v t_v / 3``.  The
-    product runs in the smallest integer dtype that holds its entries
-    (see :func:`_product_dtype`) and every accumulating reduction is
-    int64, so results bit-match the unblocked int64 reference
-    implementations for every block size.
+    then drops the block; the wedge and tripin totals are folded in from
+    the degree sequence so the result carries every matching statistic.
+    The triangle total is ``Σ_v t_v / 3``.  Every accumulating reduction
+    is int64 and the per-entry arithmetic is exact in every backend, so
+    results bit-match the unblocked int64 reference implementations for
+    every block size, backend, and ``n_jobs``.
+
+    ``n_jobs > 1`` fans contiguous groups of row blocks across the
+    :mod:`repro.runtime` process pool (``n_jobs <= 0`` = all cores); the
+    reduction is positional, so the result is identical at any worker
+    count.  The default is serial — deliberately *not* ``REPRO_N_JOBS``,
+    because passes frequently run inside trial-engine workers and must not
+    nest process pools.  Parallelism pays off only for graphs large enough
+    to split into many blocks (forcing a small ``block_size`` on a small
+    graph just buys the pool overhead).
     """
     n = graph.n_nodes
+    # Validate every knob before the edgeless early return, so a
+    # misconfigured pipeline (bad backend name, unavailable numba, broken
+    # n_jobs) fails loudly even when its first graph happens to be empty.
+    requested = backend if backend is not None else os.environ.get(KERNEL_BACKEND_ENV)
+    backend = resolve_kernel_backend(backend)
+    n_jobs = _resolve_pass_jobs(n_jobs)
+    wedges, tripins = _degree_moments(graph.degrees)
     per_node = np.zeros(n, dtype=np.int64)
     if graph.n_edges == 0:
         per_node.setflags(write=False)
-        return TrianglePassResult(0, per_node, 0, 0)
+        return TrianglePassResult(0, per_node, 0, 0, wedges, tripins)
 
     global _pass_count
     _pass_count += 1
 
-    adjacency = _working_adjacency(graph)
+    if backend != "scipy" and not _int32_indexable(graph):
+        # Beyond int32 indexing only scipy's int64 path fits.  `auto`
+        # degrades silently; an explicitly named fused backend keeps the
+        # fail-loudly contract instead of quietly running scipy.
+        if requested in _fused.FUSED_BACKENDS:
+            raise ValidationError(
+                f"kernel backend {requested!r} cannot address this graph: its "
+                f"CSR structure exceeds int32 indexing; use the scipy backend"
+            )
+        backend = "scipy"
     blocks = row_blocks(graph, resolve_block_size(block_size))
+    if n_jobs > 1 and len(blocks) > 1:
+        max_common = _parallel_blocks(graph, backend, blocks, per_node, n_jobs)
+    else:
+        max_common = _run_blocks(graph, backend, blocks, per_node, 0)
+    per_node.setflags(write=False)
+    return TrianglePassResult(
+        int(per_node.sum()) // 3, per_node, max_common, len(blocks), wedges, tripins
+    )
+
+
+def _degree_moments(degrees: np.ndarray) -> tuple[int, int]:
+    """Exact (wedges, tripins) = (Σ C(d, 2), Σ C(d, 3)) of a degree sequence."""
+    wedges = int((degrees * (degrees - 1) // 2).sum())
+    tripins = int((degrees * (degrees - 1) * (degrees - 2) // 6).sum())
+    return wedges, tripins
+
+
+def _resolve_pass_jobs(n_jobs: int) -> int:
+    """The pass's worker count: the trial engine's rule, minus its env knob.
+
+    ``check_integer`` runs first so ``None`` can never fall through to
+    :func:`repro.runtime.resolve_n_jobs`'s ``REPRO_N_JOBS`` branch —
+    passes frequently execute inside trial-engine workers and must not
+    inherit a worker count that would nest process pools.
+    """
+    from repro.runtime.engine import resolve_n_jobs
+
+    return resolve_n_jobs(check_integer(n_jobs, "n_jobs"))
+
+
+def _run_blocks(
+    graph: Graph,
+    backend: str,
+    blocks: list[tuple[int, int]],
+    per_node: np.ndarray,
+    offset: int,
+) -> int:
+    """Execute ``blocks`` with ``backend``, writing per-node triangles into
+    ``per_node`` (whose index 0 corresponds to row ``offset``); returns the
+    off-diagonal maximum over the blocks.  Runs in workers too.
+    """
+    if backend == "scipy":
+        return _run_blocks_scipy(graph, blocks, per_node, offset)
+    kernel = _fused.backend_kernel(backend)
+    indptr, indices = _fused_csr_arrays(graph)
+    n = graph.n_nodes
+    workspace = np.zeros(n, dtype=np.int64)
+    touched = np.empty(n, dtype=np.int32)
+    max_common = 0
+    for r0, r1 in blocks:
+        block_max = kernel(
+            indptr, indices, r0, r1, per_node[r0 - offset : r1 - offset],
+            workspace, touched,
+        )
+        max_common = max(max_common, int(block_max))
+    return max_common
+
+
+def _run_blocks_scipy(
+    graph: Graph,
+    blocks: list[tuple[int, int]],
+    per_node: np.ndarray,
+    offset: int,
+) -> int:
+    n = graph.n_nodes
+    adjacency = _working_adjacency(graph)
     max_common = 0
     for r0, r1 in blocks:
         rows = adjacency if (r0, r1) == (0, n) else adjacency[r0:r1]
@@ -234,7 +437,7 @@ def triangle_pass(graph: Graph, block_size: int | None = None) -> TrianglePassRe
         if product.nnz == 0:
             continue
         on_edges = product.multiply(rows).astype(np.int64)
-        per_node[r0:r1] = np.asarray(on_edges.sum(axis=1)).ravel() // 2
+        per_node[r0 - offset : r1 - offset] = np.asarray(on_edges.sum(axis=1)).ravel() // 2
         # Off-diagonal max straight off the CSR buffers: expand the row
         # pointer and reduce with a mask — no COO object, no index copy.
         # Matching the stored index dtype keeps the comparison allocation-free.
@@ -245,10 +448,66 @@ def triangle_pass(graph: Graph, block_size: int | None = None) -> TrianglePassRe
             max_common,
             int(np.max(product.data, initial=0, where=(product.indices != row))),
         )
-    per_node.setflags(write=False)
-    return TrianglePassResult(
-        int(per_node.sum()) // 3, per_node, max_common, len(blocks)
-    )
+    return max_common
+
+
+def _parallel_blocks(
+    graph: Graph,
+    backend: str,
+    blocks: list[tuple[int, int]],
+    per_node: np.ndarray,
+    n_jobs: int,
+) -> int:
+    """Fan contiguous block groups across the :mod:`repro.runtime` pool.
+
+    Each worker gets one contiguous run of blocks (one graph pickle per
+    worker, not per block) and returns its slice of the per-node vector
+    plus its local off-diagonal maximum.  The reduction is positional —
+    slices are written back by row range, the maxima folded in group
+    order — so the result is bit-identical to the serial pass at any
+    worker count.
+    """
+    from repro.runtime import TrialSpec, run_trials
+
+    groups = _block_groups(blocks, n_jobs)
+    specs = [
+        TrialSpec(
+            fn=_block_group_task,
+            params={"graph": graph, "rows": tuple(group), "backend": backend},
+            index=position,
+        )
+        for position, group in enumerate(groups)
+    ]
+    report = run_trials(specs, seed=0, n_jobs=n_jobs, cache=None, label="triangle-pass")
+    max_common = 0
+    for group, (group_per_node, group_max) in zip(groups, report.results):
+        per_node[group[0][0] : group[-1][1]] = group_per_node
+        max_common = max(max_common, int(group_max))
+    return max_common
+
+
+def _block_groups(
+    blocks: list[tuple[int, int]], n_groups: int
+) -> list[list[tuple[int, int]]]:
+    """Split the block list into ≤ ``n_groups`` contiguous, non-empty runs."""
+    n_groups = min(n_groups, len(blocks))
+    bounds = np.linspace(0, len(blocks), n_groups + 1).astype(int)
+    return [
+        list(blocks[start:end])
+        for start, end in zip(bounds, bounds[1:])
+        if end > start
+    ]
+
+
+def _block_group_task(_rng, *, graph: Graph, rows, backend: str):
+    """One worker's contiguous run of row blocks (module-level for pickling).
+
+    The trial-engine ``rng`` is unused: the pass is deterministic.
+    """
+    start = rows[0][0]
+    per_node = np.zeros(rows[-1][1] - start, dtype=np.int64)
+    max_common = _run_blocks(graph, backend, list(rows), per_node, start)
+    return per_node, max_common
 
 
 class StatsContext:
@@ -258,19 +517,40 @@ class StatsContext:
     each :class:`Graph` instance (alongside the graph's lazy adjacency and
     degrees), so every consumer in a trial — ``matching_statistics``, the
     smooth-sensitivity triangle release, the clustering figure series, the
-    hop plot's BFS — shares one computation per graph.
+    hop plot's BFS, the scree/network-value spectra — shares one
+    computation per graph.
 
     All cached arrays are read-only; callers that need to mutate must copy.
     """
 
-    __slots__ = ("_graph", "_block_size", "_pass", "_local_clustering", "_adjacency_float")
+    __slots__ = (
+        "_graph",
+        "_block_size",
+        "_backend",
+        "_n_jobs",
+        "_pass",
+        "_local_clustering",
+        "_adjacency_float",
+        "_svd_operand",
+        "_svd_cache",
+    )
 
-    def __init__(self, graph: Graph, block_size: int | None = None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        block_size: int | None = None,
+        backend: str | None = None,
+        n_jobs: int = 1,
+    ) -> None:
         self._graph = graph
         self._block_size = block_size
+        self._backend = backend
+        self._n_jobs = n_jobs
         self._pass: TrianglePassResult | None = None
         self._local_clustering: np.ndarray | None = None
         self._adjacency_float: sp.csr_array | None = None
+        self._svd_operand: sp.csc_array | None = None
+        self._svd_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def graph(self) -> Graph:
@@ -280,7 +560,9 @@ class StatsContext:
     def triangle_pass_result(self) -> TrianglePassResult:
         """The (cached) result of the blocked A² pass."""
         if self._pass is None:
-            self._pass = triangle_pass(self._graph, self._block_size)
+            self._pass = triangle_pass(
+                self._graph, self._block_size, self._backend, self._n_jobs
+            )
         return self._pass
 
     @property
@@ -307,15 +589,17 @@ class StatsContext:
 
     @property
     def wedge_count(self) -> int:
-        """Number of hairpins H = Σ_v C(d_v, 2)."""
-        d = self._graph.degrees
-        return int((d * (d - 1) // 2).sum())
+        """Number of hairpins H = Σ_v C(d_v, 2).
+
+        Degree-only, so it never triggers an A² pass (the pass result
+        carries the same value for one-stop consumers).
+        """
+        return _degree_moments(self._graph.degrees)[0]
 
     @property
     def tripin_count(self) -> int:
-        """Number of tripins T = Σ_v C(d_v, 3)."""
-        d = self._graph.degrees
-        return int((d * (d - 1) * (d - 2) // 6).sum())
+        """Number of tripins T = Σ_v C(d_v, 3).  Degree-only, like wedges."""
+        return _degree_moments(self._graph.degrees)[1]
 
     # -- derived caches ----------------------------------------------------
 
@@ -345,8 +629,34 @@ class StatsContext:
         the int8 adjacency costs O(E) and used to be repaid on every call.
         """
         if self._adjacency_float is None:
+            global _float64_conversions
+            _float64_conversions += 1
             self._adjacency_float = self._graph.adjacency.astype(np.float64).tocsr()
         return self._adjacency_float
+
+    @property
+    def svd_operand(self) -> sp.csc_array:
+        """The float64 CSC adjacency ARPACK factorizes (cached conversion).
+
+        Builds on :attr:`adjacency_float64`, so the spectral statistics
+        and the hop plot share one int8→float64 conversion per graph.
+        """
+        if self._svd_operand is None:
+            global _float64_conversions
+            _float64_conversions += 1
+            self._svd_operand = self.adjacency_float64.tocsc()
+        return self._svd_operand
+
+    @property
+    def svd_cache(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Truncated-SVD triplets keyed by requested rank ``k``.
+
+        Populated by :mod:`repro.stats.spectral`: each entry is the
+        read-only ``(singular values, principal right-singular vector)``
+        pair for one ``k``, so the scree plot and the network values of a
+        figure column cost one solver run between them.
+        """
+        return self._svd_cache
 
 
 def stats_context(graph: Graph) -> StatsContext:

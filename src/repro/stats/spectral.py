@@ -6,6 +6,14 @@ components of the right singular vector belonging to the largest singular
 value ("network value").  Both come from a truncated sparse SVD; tiny
 graphs fall back to a dense SVD so the functions work across the whole
 test matrix.
+
+Both statistics are served from the graph's
+:class:`~repro.stats.kernels.StatsContext`: the float64 CSC operand ARPACK
+factorizes is converted once per graph (shared with the hop plot's float64
+CSR, so figure pipelines stop re-converting the adjacency per call), and
+the solved ``(singular values, principal vector)`` triplets are memoized
+per requested rank ``k`` — a figure column's scree plot and network values
+cost one solver run between them.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import scipy.sparse.linalg
 
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
+from repro.stats.kernels import StatsContext, stats_context
 from repro.utils.validation import check_integer
 
 __all__ = ["singular_values", "network_values"]
@@ -31,7 +40,7 @@ def singular_values(graph: Graph, k: int = 50) -> np.ndarray:
     of its leading eigenvalues.
     """
     values, _vector = _truncated_svd(graph, k)
-    return values
+    return values.copy()  # the cached triplet is read-only; callers may mutate
 
 
 def network_values(graph: Graph, k: int = 50) -> np.ndarray:
@@ -47,28 +56,43 @@ def network_values(graph: Graph, k: int = 50) -> np.ndarray:
 
 
 def _truncated_svd(graph: Graph, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """The memoized ``(singular values, principal vector)`` triplet at ``k``."""
     k = check_integer(k, "k", minimum=1)
-    n = graph.n_nodes
-    if n == 0:
+    if graph.n_nodes == 0:
         raise ValidationError("spectral statistics are undefined on an empty graph")
+    context = stats_context(graph)
+    cached = context.svd_cache.get(k)
+    if cached is None:
+        values, vector = _solve_truncated_svd(graph, context, k)
+        values.setflags(write=False)
+        vector.setflags(write=False)
+        cached = (values, vector)
+        context.svd_cache[k] = cached
+    return cached
+
+
+def _solve_truncated_svd(
+    graph: Graph, context: StatsContext, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    n = graph.n_nodes
     if graph.n_edges == 0:
         return np.zeros(min(k, n), dtype=np.float64), np.zeros(n, dtype=np.float64)
     if n <= _DENSE_SVD_LIMIT or k >= n - 1:
         dense = graph.adjacency.toarray().astype(np.float64)
         _u, sigma, v_transpose = np.linalg.svd(dense)
         keep = min(k, sigma.size)
-        return sigma[:keep], v_transpose[0, :]
-    adjacency = graph.adjacency.astype(np.float64).tocsc()
+        # .copy(), not a view: the triplet lives in the per-graph cache,
+        # and a row/prefix view would pin the whole factor matrix with it.
+        return sigma[:keep].copy(), v_transpose[0, :].copy()
     # Fixed ARPACK start vector: the default draws from process-global
     # random state, which breaks bit-identical results across worker
     # processes (repro.runtime's determinism guarantee).  The adjacency
     # matrix is nonnegative, so the uniform vector is never orthogonal to
     # the principal subspace.
     v0 = np.full(n, 1.0 / np.sqrt(n))
-    u, sigma, v_transpose = scipy.sparse.linalg.svds(
-        adjacency, k=min(k, n - 2), v0=v0
+    _u, sigma, v_transpose = scipy.sparse.linalg.svds(
+        context.svd_operand, k=min(k, n - 2), v0=v0
     )
     order = np.argsort(sigma)[::-1]
-    sigma = sigma[order]
-    principal = v_transpose[order[0], :]
-    return sigma, principal
+    sigma = sigma[order]  # fancy indexing: already a fresh array
+    return sigma, v_transpose[order[0], :].copy()  # .copy(): see dense path

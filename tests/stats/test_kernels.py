@@ -60,6 +60,9 @@ def assert_pass_matches_reference(graph: Graph, block_size: int) -> TrianglePass
         np.asarray(result.per_node), reference_triangles_per_node(graph)
     )
     assert result.per_node.dtype == np.int64
+    degrees = graph.degrees
+    assert result.wedges == int((degrees * (degrees - 1) // 2).sum())
+    assert result.tripins == int((degrees * (degrees - 1) * (degrees - 2) // 6).sum())
     return result
 
 

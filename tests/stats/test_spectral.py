@@ -70,3 +70,30 @@ class TestNetworkValues:
     def test_unit_norm(self, er_graph):
         values = network_values(er_graph, k=5)
         assert np.linalg.norm(values) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestMemoizedTriplets:
+    """The per-graph SVD cache (see also tests/stats/test_backend_equivalence.py)."""
+
+    def test_returned_arrays_stay_writable(self):
+        # Callers historically received fresh arrays; the cache must not
+        # leak read-only views into that contract.
+        graph = erdos_renyi_graph(100, 0.08, seed=9)
+        assert singular_values(graph, k=5).flags.writeable
+        assert network_values(graph, k=5).flags.writeable
+
+    def test_repeated_calls_bit_identical(self):
+        graph = erdos_renyi_graph(100, 0.08, seed=9)
+        np.testing.assert_array_equal(
+            singular_values(graph, k=5), singular_values(graph, k=5)
+        )
+        np.testing.assert_array_equal(
+            network_values(graph, k=5), network_values(graph, k=5)
+        )
+
+    def test_fresh_graph_instances_do_not_share_cache(self):
+        first = erdos_renyi_graph(100, 0.08, seed=9)
+        second = erdos_renyi_graph(100, 0.08, seed=9)
+        np.testing.assert_array_equal(
+            singular_values(first, k=5), singular_values(second, k=5)
+        )

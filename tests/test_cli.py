@@ -195,7 +195,10 @@ class TestBlockSizeOption:
     def test_statistics_identical_for_any_block_size(
         self, edge_list_file, capsys, monkeypatch
     ):
-        monkeypatch.delenv("REPRO_BLOCK_SIZE", raising=False)
+        # setenv (not delenv) so teardown restores the pre-test state even
+        # after main() publishes the flag through os.environ; "0" is the
+        # auto default, so the first run behaves as if the knob were unset.
+        monkeypatch.setenv("REPRO_BLOCK_SIZE", "0")
         assert main(["summarize", str(edge_list_file)]) == 0
         default_output = capsys.readouterr().out
         assert main(["--block-size", "2", "summarize", str(edge_list_file)]) == 0
@@ -205,7 +208,7 @@ class TestBlockSizeOption:
     def test_option_publishes_environment_knob(self, edge_list_file, monkeypatch):
         import os
 
-        monkeypatch.delenv("REPRO_BLOCK_SIZE", raising=False)
+        monkeypatch.setenv("REPRO_BLOCK_SIZE", "0")
         assert main(["--block-size", "64", "summarize", str(edge_list_file)]) == 0
         assert os.environ["REPRO_BLOCK_SIZE"] == "64"
 
@@ -213,3 +216,47 @@ class TestBlockSizeOption:
         code = main(["--block-size", "-3", "summarize", str(edge_list_file)])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestKernelBackendOption:
+    def test_statistics_identical_for_any_backend(
+        self, edge_list_file, capsys, monkeypatch
+    ):
+        from repro.stats.kernels import available_kernel_backends
+
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "auto")  # see TestBlockSizeOption
+        assert main(["summarize", str(edge_list_file)]) == 0
+        default_output = capsys.readouterr().out
+        for backend in available_kernel_backends():
+            code = main(
+                ["--kernel-backend", backend, "summarize", str(edge_list_file)]
+            )
+            assert code == 0
+            assert capsys.readouterr().out == default_output
+
+    def test_option_publishes_environment_knob(self, edge_list_file, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "auto")
+        code = main(["--kernel-backend", "scipy", "summarize", str(edge_list_file)])
+        assert code == 0
+        assert os.environ["REPRO_KERNEL_BACKEND"] == "scipy"
+
+    def test_unknown_backend_rejected_by_argparse(self, edge_list_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["--kernel-backend", "fortran", "summarize", str(edge_list_file)])
+
+    def test_unavailable_backend_fails_loudly(
+        self, edge_list_file, capsys, monkeypatch
+    ):
+        """Requesting a fused backend the host lacks is a clear exit-1 error."""
+        from repro.stats import _fused
+
+        monkeypatch.setitem(
+            _fused._STATES, "numba", (None, "numba is not installed")
+        )
+        code = main(["--kernel-backend", "numba", "summarize", str(edge_list_file)])
+        assert code == 1
+        error = capsys.readouterr().err
+        assert "error:" in error
+        assert "numba is not installed" in error
