@@ -1,0 +1,325 @@
+"""EXP-K2 — Metropolis chain backends vs the numpy reference for KronFit.
+
+The KronFit baseline of the paper's Table 1 runs ~10⁵ Metropolis
+proposals per fit; PR 4 moved the chain onto the fused native kernels
+(:mod:`repro.native.chain`) behind ``REPRO_KERNEL_BACKEND``.  This bench
+records two trajectories per workload:
+
+* **chain throughput** — raw proposals/second of
+  :meth:`PermutationSampler.run` per engine (numpy reference, numba,
+  compiled-C ``cext``), with every engine first checked **bit-identical**
+  to the reference on a common pre-drawn stream (σ, histogram, and
+  acceptance count must agree exactly — the same contract the chain
+  equivalence matrix pins in ``tests/kronecker/test_chain_equivalence.py``);
+* **end-to-end fit** — wall-clock of a full ``KronFitEstimator.fit`` at
+  Table-1-scale chain parameters, per engine, with bit-identical fitted
+  initiators enforced across engines.
+
+Workloads: SKG draws at k ∈ {10, 12} and the ca-grqc dataset (the
+padded fit runs at k=13).  The k=12 draw asserts the floor: the best
+fused engine must complete the fit ≥ 2× faster than the numpy reference
+(the PR target is ≥ 5×; the measured value is recorded in the artifact).
+Unavailable engines are recorded with the reason, so the artifact states
+exactly what was measured where.
+
+Results go to ``benchmarks/out/BENCH_kronfit.json``.  The artifact
+carries ``schema_version``; ``tests/test_bench_artifacts.py`` guards that
+the committed JSON stays in sync with this script's schema.
+
+Run directly (no pytest needed)::
+
+    python benchmarks/bench_kronfit.py            # full matrix, asserts floor
+    python benchmarks/bench_kronfit.py --quick    # CI smoke subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.graphs.datasets import load_dataset
+from repro.graphs.graph import Graph
+from repro.graphs.operations import pad_to_power_of_two
+from repro.kronecker.initiator import Initiator
+from repro.kronecker.kronfit import KronFitEstimator
+from repro.kronecker.likelihood import PermutationSampler
+from repro.kronecker.sampling import sample_skg
+from repro.native.chain import (
+    available_chain_backends,
+    chain_backend_available,
+    chain_backend_error,
+)
+from repro.native.registry import NATIVE_BACKENDS
+
+# Bump when the JSON layout changes; tests/test_bench_artifacts.py keeps
+# the committed artifact in sync.
+SCHEMA_VERSION = 1
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_kronfit.json"
+THETA = Initiator(0.99, 0.45, 0.25)  # the paper's synthetic initiator
+FIT_THETA = Initiator(0.9, 0.6, 0.2)  # KronFit's generic starting point
+SEED = 20120330
+FUSED_FIT_FLOOR = 2.0
+FLOOR_WORKLOAD = "skg-k12"
+
+# Table-1-scale chain parameters: n_iterations × (warmup + samples ×
+# spacing) = 28 000 proposals per fit.
+FIT_PARAMS = dict(
+    n_iterations=10,
+    warmup_swaps=2000,
+    n_permutation_samples=4,
+    sample_spacing=200,
+)
+QUICK_FIT_PARAMS = dict(
+    n_iterations=4,
+    warmup_swaps=400,
+    n_permutation_samples=2,
+    sample_spacing=50,
+)
+
+# Throughput probe sizes: enough proposals to swamp per-run setup, kept
+# small on the reference engine so the bench stays minutes-scale.
+THROUGHPUT_PROPOSALS = {"numpy": 20_000, "numba": 400_000, "cext": 400_000}
+EQUIVALENCE_PROPOSALS = 4_000
+
+
+def chain_engines() -> tuple[str, ...]:
+    return ("numpy",) + NATIVE_BACKENDS
+
+
+def bench_chain(graph: Graph, k: int, repeats: int, quick: bool) -> dict:
+    """Per-engine chain throughput, pinned by a bit-identity prefix."""
+    reference = _chain_state(graph, k, "numpy", EQUIVALENCE_PROPOSALS)
+    records: dict[str, dict] = {}
+    for engine in chain_engines():
+        if engine != "numpy" and not chain_backend_available(engine):
+            records[engine] = {
+                "available": False,
+                "reason": chain_backend_error(engine),
+            }
+            continue
+        state = _chain_state(graph, k, engine, EQUIVALENCE_PROPOSALS)
+        identical = (
+            np.array_equal(state[0], reference[0])
+            and np.array_equal(state[1], reference[1])
+            and state[2] == reference[2]
+        )
+        if not identical:
+            raise AssertionError(
+                f"chain engine {engine} diverges from the numpy reference"
+            )
+        n_proposals = THROUGHPUT_PROPOSALS[engine]
+        if quick:
+            n_proposals //= 10
+        best = float("inf")
+        for _ in range(repeats):
+            sampler = PermutationSampler(graph, k, THETA, backend=engine)
+            rng = np.random.default_rng(SEED)
+            start = time.perf_counter()
+            sampler.run(n_proposals, rng)
+            best = min(best, time.perf_counter() - start)
+        records[engine] = {
+            "available": True,
+            "bit_identical": True,
+            "n_proposals": n_proposals,
+            "seconds": best,
+            "proposals_per_second": n_proposals / best,
+        }
+    numpy_rate = records["numpy"]["proposals_per_second"]
+    for record in records.values():
+        if record.get("available"):
+            record["speedup_vs_numpy"] = (
+                record["proposals_per_second"] / numpy_rate
+            )
+    return records
+
+
+def _chain_state(graph: Graph, k: int, engine: str, n_proposals: int):
+    """(σ, histogram, accepted) after a fixed-seed run on ``engine``."""
+    sampler = PermutationSampler(graph, k, THETA, backend=engine)
+    sampler.run(n_proposals, np.random.default_rng(SEED))
+    return sampler.sigma.copy(), sampler.histogram(), sampler.accepted
+
+
+def bench_fit(graph: Graph, fit_params: dict) -> dict:
+    """End-to-end ``KronFitEstimator.fit`` wall-clock per engine."""
+    records: dict[str, dict] = {}
+    reference_initiator = None
+    for engine in chain_engines():
+        if engine != "numpy" and not chain_backend_available(engine):
+            records[engine] = {
+                "available": False,
+                "reason": chain_backend_error(engine),
+            }
+            continue
+        estimator = KronFitEstimator(
+            initial=FIT_THETA, seed=SEED, backend=engine, **fit_params
+        )
+        start = time.perf_counter()
+        result = estimator.fit(graph)
+        seconds = time.perf_counter() - start
+        if reference_initiator is None:
+            reference_initiator = result.initiator
+        elif result.initiator != reference_initiator:
+            raise AssertionError(
+                f"fit with engine {engine} diverges from the numpy reference"
+            )
+        records[engine] = {
+            "available": True,
+            "seconds": seconds,
+            "k": result.k,
+            "acceptance_rate": result.acceptance_rate,
+            "initiator": [
+                result.initiator.a, result.initiator.b, result.initiator.c
+            ],
+        }
+    numpy_seconds = records["numpy"]["seconds"]
+    for record in records.values():
+        if record.get("available"):
+            record["speedup_vs_numpy"] = numpy_seconds / record["seconds"]
+    return records
+
+
+def bench_workload(
+    name: str, graph: Graph, repeats: int, quick: bool, fit_params: dict
+) -> dict:
+    padded, k = pad_to_power_of_two(graph)
+    padded.adjacency  # warm the shared structures every engine starts from
+    return {
+        "workload": name,
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "k": k,
+        "chain": bench_chain(padded, k, repeats, quick),
+        "fit": {"params": fit_params, **bench_fit(graph, fit_params)},
+    }
+
+
+def build_workloads(quick: bool):
+    orders = (10,) if quick else (10, 12)
+    for k in orders:
+        yield f"skg-k{k}", sample_skg(THETA, k, seed=SEED)
+    if not quick:
+        yield "ca-grqc", load_dataset("ca-grqc")
+
+
+def _fused_floor(results: list[dict]) -> dict:
+    """The fastest available fused engine's fit speedup on the floor
+    workload."""
+    entry = {
+        "workload": FLOOR_WORKLOAD,
+        "required": FUSED_FIT_FLOOR,
+        "backend": None,
+        "measured": None,
+    }
+    record = next((r for r in results if r["workload"] == FLOOR_WORKLOAD), None)
+    if record is None:
+        return entry
+    fused = {
+        engine: fit["speedup_vs_numpy"]
+        for engine, fit in record["fit"].items()
+        if engine in NATIVE_BACKENDS and isinstance(fit, dict) and fit.get("available")
+    }
+    if fused:
+        entry["backend"] = max(fused, key=fused.get)
+        entry["measured"] = fused[entry["backend"]]
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke subset (skg-k10, short chains); skips the floor assertion",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help=(
+            "JSON output path (default: benchmarks/out/BENCH_kronfit.json; "
+            "quick runs default to BENCH_kronfit_quick.json so they never "
+            "overwrite the committed full-matrix artifact)"
+        ),
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.out is None:
+        arguments.out = str(
+            OUT_PATH.with_name("BENCH_kronfit_quick.json")
+            if arguments.quick
+            else OUT_PATH
+        )
+    fit_params = QUICK_FIT_PARAMS if arguments.quick else FIT_PARAMS
+
+    results = []
+    for name, graph in build_workloads(arguments.quick):
+        record = bench_workload(
+            name, graph, arguments.repeats, arguments.quick, fit_params
+        )
+        results.append(record)
+        print(f"{name:12s} n={record['n_nodes']:>6d} E={record['n_edges']:>7d} k={record['k']}")
+        for engine, entry in record["chain"].items():
+            if entry.get("available"):
+                print(
+                    f"{'':12s}   chain[{engine}] "
+                    f"{entry['proposals_per_second']:>12,.0f} proposals/s "
+                    f"({entry['speedup_vs_numpy']:.1f}x vs numpy)"
+                )
+            else:
+                print(f"{'':12s}   chain[{engine}] unavailable: {entry['reason']}")
+        for engine, entry in record["fit"].items():
+            if engine == "params" or not isinstance(entry, dict):
+                continue
+            if entry.get("available"):
+                print(
+                    f"{'':12s}   fit[{engine}]   {entry['seconds'] * 1000:9.1f} ms "
+                    f"({entry['speedup_vs_numpy']:.1f}x vs numpy)"
+                )
+            else:
+                print(f"{'':12s}   fit[{engine}]   unavailable: {entry['reason']}")
+
+    fused_floor = _fused_floor(results)
+    report = {
+        "bench": "bench_kronfit",
+        "schema_version": SCHEMA_VERSION,
+        "quick": arguments.quick,
+        "repeats": arguments.repeats,
+        "seed": SEED,
+        "chain_backends_available": list(available_chain_backends()),
+        "fused_fit_floor": fused_floor,
+        "workloads": results,
+    }
+    out_path = Path(arguments.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"[written to {out_path}]")
+
+    if not arguments.quick:
+        if fused_floor["backend"] is not None:
+            assert fused_floor["measured"] >= FUSED_FIT_FLOOR, (
+                f"fused chain engine {fused_floor['backend']} is only "
+                f"{fused_floor['measured']:.2f}x over the numpy reference "
+                f"fit on {FLOOR_WORKLOAD} (floor: {FUSED_FIT_FLOOR}x)"
+            )
+            print(
+                f"{FLOOR_WORKLOAD} fused fit ({fused_floor['backend']}) "
+                f"{fused_floor['measured']:.2f}x >= {FUSED_FIT_FLOOR}x floor"
+            )
+        else:
+            print("no fused chain engine available; fit floor not asserted")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

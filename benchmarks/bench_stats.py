@@ -64,6 +64,11 @@ from repro.stats.clustering import local_clustering
 from repro.stats.counts import count_triangles, max_common_neighbors
 from repro.stats.kernels import available_kernel_backends, stats_context, triangle_pass
 
+# Bump when the JSON layout changes; tests/test_bench_artifacts.py keeps
+# the committed artifact in sync.  2 = added schema_version itself (the
+# PR 3 layout was the unversioned v1).
+SCHEMA_VERSION = 2
+
 OUT_PATH = Path(__file__).parent / "out" / "BENCH_stats.json"
 THETA = Initiator(0.99, 0.45, 0.25)  # the paper's synthetic initiator
 SEED = 20120330
@@ -308,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
     configuration = default_config()
     report = {
         "bench": "bench_stats",
+        "schema_version": SCHEMA_VERSION,
         "quick": arguments.quick,
         "repeats": arguments.repeats,
         "combined_path": "triangles + local sensitivity + local clustering",

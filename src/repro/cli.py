@@ -37,12 +37,15 @@ The global ``--block-size N`` option (before the subcommand) bounds the
 peak memory of the blocked A² counting pass by running it N rows at a
 time; the default 0 auto-tunes the block size from a memory budget.  The
 global ``--kernel-backend {auto,scipy,numba,cext}`` option selects the
-pass's execution engine: ``auto`` (default) prefers the fused kernels
-(numba-jitted when numba is installed, else the compiled-C ``cext``) and
-falls back to the blocked scipy SpGEMM; naming an unavailable backend
-fails with a clear error.  All statistics are bit-identical for any block
-size and backend (``repro --block-size 64 --kernel-backend scipy
-summarize ca-grqc`` equals ``repro summarize ca-grqc``).
+execution engine of *both* native-kernel families — the A² counting pass
+and the KronFit Metropolis chain: ``auto`` (default) prefers the fused
+kernels (numba-jitted when numba is installed, else the compiled-C
+``cext``) and falls back to the pure-Python references (blocked scipy
+SpGEMM / numpy chain); naming an unavailable backend fails with a clear
+error.  All results are bit-identical for any block size and backend
+(``repro --block-size 64 --kernel-backend scipy summarize ca-grqc``
+equals ``repro summarize ca-grqc``, and ``repro --kernel-backend scipy
+fit ca-grqc --method kronfit --seed 0`` equals the fused-kernel fit).
 """
 
 from __future__ import annotations
@@ -61,8 +64,8 @@ from repro.core.nonprivate import fit_kronfit, fit_kronmom
 from repro.kronecker.initiator import Initiator
 from repro.kronecker.sampling import sample_skg
 from repro.stats.kernels import (
+    KERNEL_BACKEND_CHOICES,
     KERNEL_BACKEND_ENV,
-    KERNEL_BACKENDS,
     resolve_block_size,
     resolve_kernel_backend,
 )
@@ -92,13 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--kernel-backend",
-        choices=KERNEL_BACKENDS,
+        choices=KERNEL_BACKEND_CHOICES,
         default=None,
         dest="kernel_backend",
         help=(
-            "execution engine of the A² counting pass (sets "
-            "REPRO_KERNEL_BACKEND; auto prefers the fused numba/C kernels "
-            "and falls back to scipy; statistics are bit-identical for any "
+            "execution engine of the native kernels — the A² counting pass "
+            "and the KronFit Metropolis chain (sets REPRO_KERNEL_BACKEND; "
+            "auto prefers the fused numba/C kernels and falls back to the "
+            "pure-Python references; results are bit-identical for any "
             "backend)"
         ),
     )

@@ -33,13 +33,17 @@ Counting-kernel knobs (consumed by :mod:`repro.stats.kernels`):
   pass time; ``config.block_size`` mirrors the knob so bench artifacts
   can record it (``benchmarks/bench_stats.py`` writes it into
   ``BENCH_stats.json``).
-* ``REPRO_KERNEL_BACKEND`` — execution engine of the pass (default
-  ``auto``).  ``auto`` prefers the fused kernels — ``numba`` when numba
-  is installed, else the compiled-C ``cext`` — and silently falls back
-  to the blocked ``scipy`` SpGEMM; naming an unavailable backend fails
-  loudly at pass time.  Statistics are bit-identical across backends;
-  the knob only selects how fast they are computed.  Mirrored as
-  ``config.kernel_backend`` for bench provenance, like the block size.
+* ``REPRO_KERNEL_BACKEND`` — execution engine of *both* native-kernel
+  families (default ``auto``): the blocked A² counting pass and the
+  KronFit Metropolis chain (:mod:`repro.native`).  ``auto`` prefers the
+  fused kernels — ``numba`` when numba is installed, else the
+  compiled-C ``cext`` — and silently falls back to the pure-Python
+  references (blocked ``scipy`` SpGEMM / numpy chain); naming an
+  unavailable backend fails loudly at use time.  Results are
+  bit-identical across backends; the knob only selects how fast they
+  are computed.  Mirrored as ``config.kernel_backend`` for bench
+  provenance (and threaded into Table 1's KronFit trials), like the
+  block size.
 
 CI sets ``REPRO_REALIZATIONS=2`` with ``REPRO_N_JOBS=2`` so one figure
 bench exercises the full parallel harness end-to-end in minutes; paper
@@ -53,7 +57,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.stats.kernels import KERNEL_BACKENDS
+from repro.stats.kernels import KERNEL_BACKEND_CHOICES
 
 __all__ = ["ExperimentConfig", "default_config", "FIGURE_DATASETS"]
 
@@ -134,6 +138,6 @@ def default_config() -> ExperimentConfig:
         cache_dir=os.environ.get("REPRO_CACHE_DIR", base.cache_dir),
         block_size=_env_int("REPRO_BLOCK_SIZE", base.block_size),
         kernel_backend=_env_choice(
-            "REPRO_KERNEL_BACKEND", base.kernel_backend, KERNEL_BACKENDS
+            "REPRO_KERNEL_BACKEND", base.kernel_backend, KERNEL_BACKEND_CHOICES
         ),
     )

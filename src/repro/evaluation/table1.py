@@ -71,6 +71,7 @@ def run_table1(
                         "epsilon": config.epsilon,
                         "delta": config.delta,
                         "kronfit_iterations": config.kronfit_iterations,
+                        "kernel_backend": config.kernel_backend,
                     },
                     index=len(specs),
                     seed=seed,
@@ -100,11 +101,23 @@ def _table1_trial(
     epsilon: float,
     delta: float,
     kronfit_iterations: int,
+    kernel_backend: str = "auto",
 ) -> Initiator:
-    """One Table 1 cell group: load the dataset and fit one estimator."""
+    """One Table 1 cell group: load the dataset and fit one estimator.
+
+    ``kernel_backend`` selects the Metropolis-chain engine of the KronFit
+    baseline (results are bit-identical for every engine; the parameter
+    exists so the configured backend is part of the trial's cache key and
+    fails loudly inside the worker if unavailable there).
+    """
     graph = load_dataset(dataset)
     if method == "KronFit":
-        result = fit_kronfit(graph, n_iterations=kronfit_iterations, seed=rng)
+        result = fit_kronfit(
+            graph,
+            n_iterations=kronfit_iterations,
+            seed=rng,
+            backend=kernel_backend,
+        )
     elif method == "KronMom":
         result = fit_kronmom(graph)
     elif method == "Private":

@@ -79,6 +79,11 @@ class KronFitEstimator:
         with |E|·k).
     initial:
         Starting initiator (defaults to the paper's generic seed point).
+    backend:
+        Execution engine of the Metropolis permutation chain (``auto`` |
+        ``numpy`` | ``numba`` | ``cext``; default: the
+        ``REPRO_KERNEL_BACKEND`` knob, else ``auto``).  Results are
+        bit-identical for every engine — the knob only selects speed.
 
     Examples
     --------
@@ -99,6 +104,7 @@ class KronFitEstimator:
         learning_rate: float = 0.08,
         initial: Initiator | tuple[float, float, float] = (0.9, 0.6, 0.2),
         seed: SeedLike = None,
+        backend: str | None = None,
     ) -> None:
         self.n_iterations = check_integer(n_iterations, "n_iterations", minimum=1)
         self.warmup_swaps = check_integer(warmup_swaps, "warmup_swaps", minimum=0)
@@ -109,6 +115,7 @@ class KronFitEstimator:
         self.learning_rate = check_positive(learning_rate, "learning_rate")
         self.initial = as_initiator(initial)
         self.seed = seed
+        self.backend = backend
 
     def fit(self, graph: Graph) -> KronFitResult:
         """Fit the initiator to ``graph`` (padded to 2^k nodes internally)."""
@@ -117,7 +124,7 @@ class KronFitEstimator:
         rng = as_generator(self.seed)
         padded, k = pad_to_power_of_two(graph)
         theta = _clip(self.initial)
-        sampler = PermutationSampler(padded, k, theta)
+        sampler = PermutationSampler(padded, k, theta, backend=self.backend)
         log_likelihoods: list[float] = []
         trajectory: list[tuple[float, float, float]] = []
         for iteration in range(self.n_iterations):

@@ -20,6 +20,13 @@ The residual edge correction ``−Σ_{uv∈E} log(1−P_uv)`` is computed exactl
 so the only approximation is the Taylor step on non-edges — accurate for
 the sparse graphs the model targets.  :func:`exact_log_likelihood` is the
 O(N²) reference used by tests.
+
+:class:`PermutationSampler` — the Metropolis chain over σ that KronFit
+averages its gradients over — executes pre-drawn proposal streams behind
+the ``REPRO_KERNEL_BACKEND`` knob: the numpy reference engine defined
+here, or the fused numba / compiled-C batch kernels of
+:mod:`repro.native.chain`.  All engines are bit-identical (see the
+contracts documented there).
 """
 
 from __future__ import annotations
@@ -31,6 +38,11 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
 from repro.kronecker.initiator import Initiator, as_initiator
+from repro.native.chain import (
+    chain_kernel,
+    draw_proposal_batch,
+    resolve_chain_backend,
+)
 
 __all__ = [
     "edge_profiles",
@@ -204,9 +216,29 @@ class PermutationSampler:
     Proposals swap the Kronecker ids of two random nodes; the acceptance
     ratio only involves edges incident to the swapped nodes because the
     non-edge term is permutation-invariant under the Taylor approximation.
+
+    The sampler runs on pre-drawn proposal streams (the draw contract of
+    :func:`repro.native.chain.draw_proposal_batch`) behind interchangeable
+    execution engines selected by ``backend`` / ``REPRO_KERNEL_BACKEND``:
+    the pure-numpy reference implemented here, and the fused
+    numba/compiled-C batch kernels of :mod:`repro.native.chain`.  Every
+    engine follows the same score contract — the swap delta is an integer
+    profile-count change dotted with the cached score table in ascending
+    cell order — so σ trajectories, histograms, and acceptance counts are
+    **bit-identical** across engines and kernel batch sizes.  The profile
+    histogram is maintained incrementally on accepted swaps (touched
+    edges only); treat :attr:`sigma` as read-only between calls, and use
+    :meth:`set_sigma` to reset the correspondence.
     """
 
-    def __init__(self, graph: Graph, k: int, theta: Initiator, sigma: np.ndarray | None = None):
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        theta: Initiator,
+        sigma: np.ndarray | None = None,
+        backend: str | None = None,
+    ):
         if graph.n_nodes != 2**k:
             raise ValidationError(
                 f"graph has {graph.n_nodes} nodes, expected 2^{k} = {2**k}"
@@ -216,40 +248,80 @@ class PermutationSampler:
         adjacency = graph.adjacency
         self._indptr = adjacency.indptr
         self._indices = adjacency.indices
-        self.sigma = (
+        # Resolve the engine eagerly so a misconfigured pipeline (numba
+        # requested but not installed) fails at construction, not mid-fit.
+        self.backend = resolve_chain_backend(backend)
+        self._kernel = None
+        if self.backend != "numpy":
+            self._kernel = chain_kernel(self.backend)
+            self._indptr32 = np.ascontiguousarray(self._indptr, dtype=np.int32)
+            self._indices32 = np.ascontiguousarray(self._indices, dtype=np.int32)
+        self._n_cells = (k + 1) * (k + 1)
+        self._counts = np.zeros(self._n_cells, dtype=np.int64)
+        self._tables: _LogTables | None = None
+        self.set_sigma(
             np.asarray(sigma, dtype=np.int64).copy()
             if sigma is not None
             else degree_matched_initial_sigma(graph, k)
         )
-        self._tables: _LogTables | None = None
         self.set_theta(theta)
         self.accepted = 0
         self.proposed = 0
 
     def set_theta(self, theta: Initiator) -> None:
-        """Update Θ (rebuilds the per-profile log tables)."""
+        """Update Θ (rebuilds the log tables and the cached score table)."""
         self.theta = theta
         self._tables = _LogTables.build(theta, self.k)
+        # Hoisted out of the proposal loop: `log P - log(1-P)` per profile
+        # cell used to be re-materialized twice per proposal.
+        self._score = np.ascontiguousarray(
+            (self._tables.log_p - self._tables.log_1mp).ravel(), dtype=np.float64
+        )
+
+    def set_sigma(self, sigma: np.ndarray) -> None:
+        """Replace the correspondence (rebuilds the profile histogram)."""
+        sigma = np.ascontiguousarray(sigma, dtype=np.int64)
+        if sigma.shape != (self.graph.n_nodes,):
+            raise ValidationError("sigma must assign an id to every node")
+        self.sigma = sigma
+        z, x, o = edge_profiles(self.graph, sigma, self.k)
+        self._hist = np.ascontiguousarray(
+            profile_histogram(z, x, o, self.k).ravel(), dtype=np.int64
+        )
 
     def step(self, rng: np.random.Generator) -> bool:
-        """One Metropolis proposal; returns True if accepted."""
-        n = self.graph.n_nodes
-        i = int(rng.integers(0, n))
-        j = int(rng.integers(0, n))
-        if i == j:
-            return False
-        self.proposed += 1
-        delta = self._swap_delta(i, j)
-        if delta >= 0 or rng.random() < np.exp(delta):
-            self.sigma[i], self.sigma[j] = self.sigma[j], self.sigma[i]
-            self.accepted += 1
-            return True
-        return False
+        """One Metropolis proposal; returns True if accepted.
 
-    def run(self, n_steps: int, rng: np.random.Generator) -> None:
-        """Run ``n_steps`` proposals."""
-        for _ in range(n_steps):
-            self.step(rng)
+        Draws a single-proposal stream, so a sequence of ``step`` calls
+        consumes the generator differently from one :meth:`run` call (run
+        pre-draws its whole stream en bloc per the draw contract).
+        """
+        before = self.accepted
+        self._execute(*draw_proposal_batch(rng, self.graph.n_nodes, 1))
+        return self.accepted > before
+
+    def run(
+        self,
+        n_steps: int,
+        rng: np.random.Generator,
+        batch_size: int | None = None,
+    ) -> None:
+        """Run ``n_steps`` proposals.
+
+        The ``(i, j, log u)`` streams for the whole call are pre-drawn up
+        front (the draw contract), then executed by the configured engine
+        in kernel batches of ``batch_size`` (default: one batch).  The
+        batch size only bounds how much work enters compiled code at
+        once — the trajectory is bit-identical for any value.
+        """
+        if n_steps < 0:
+            raise ValidationError(f"n_steps must be non-negative, got {n_steps}")
+        if n_steps == 0 or self.graph.n_nodes < 2:
+            return
+        i_nodes, j_nodes, log_u = draw_proposal_batch(
+            rng, self.graph.n_nodes, n_steps
+        )
+        self._execute(i_nodes, j_nodes, log_u, batch_size)
 
     def edge_term(self) -> float:
         """Current Σ_E [log P − log(1−P)] under σ (for diagnostics)."""
@@ -260,44 +332,136 @@ class PermutationSampler:
         )
 
     def histogram(self) -> np.ndarray:
-        """Profile histogram of the current σ (input to ProfileLikelihood)."""
-        z, x, o = edge_profiles(self.graph, self.sigma, self.k)
-        return profile_histogram(z, x, o, self.k)
+        """Profile histogram of the current σ (input to ProfileLikelihood).
+
+        Maintained incrementally from the count changes of accepted swaps;
+        bit-equal to recomputing :func:`edge_profiles` over all edges.
+        """
+        return self._hist.reshape(self.k + 1, self.k + 1).copy()
 
     # -- internals --------------------------------------------------------
+
+    def _execute(
+        self,
+        i_nodes: np.ndarray,
+        j_nodes: np.ndarray,
+        log_u: np.ndarray,
+        batch_size: int | None = None,
+    ) -> None:
+        """Run a pre-drawn proposal stream through the configured engine."""
+        total = i_nodes.shape[0]
+        if batch_size is None:
+            batch_size = total
+        if batch_size < 1:
+            raise ValidationError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, total, batch_size):
+            stop = min(start + batch_size, total)
+            if self._kernel is None:
+                self.accepted += self._reference_block(
+                    i_nodes, j_nodes, log_u, start, stop
+                )
+            else:
+                self.accepted += int(
+                    self._kernel(
+                        self._indptr32,
+                        self._indices32,
+                        self.sigma,
+                        self.k,
+                        self._score,
+                        self._hist,
+                        self._counts,
+                        i_nodes,
+                        j_nodes,
+                        log_u,
+                        start,
+                        stop,
+                    )
+                )
+        self.proposed += total
+
+    def _reference_block(
+        self,
+        i_nodes: np.ndarray,
+        j_nodes: np.ndarray,
+        log_u: np.ndarray,
+        start: int,
+        stop: int,
+    ) -> int:
+        """The numpy reference engine: one proposal at a time, vectorized
+        per neighbourhood, with the score contract's ascending-cell scan.
+        """
+        sigma = self.sigma
+        accepted = 0
+        for t in range(start, stop):
+            i = int(i_nodes[t])
+            j = int(j_nodes[t])
+            counts = self._count_delta(i, j)
+            delta = self._scan_delta(counts)
+            if delta >= 0.0 or log_u[t] < delta:
+                sigma[i], sigma[j] = sigma[j], sigma[i]
+                self._hist += counts
+                accepted += 1
+        return accepted
 
     def _neighbors(self, node: int) -> np.ndarray:
         return self._indices[self._indptr[node] : self._indptr[node + 1]]
 
-    def _swap_delta(self, i: int, j: int) -> float:
-        """Change in the edge term if σ(i) and σ(j) were exchanged."""
+    def _cells(self, center_id: int, other_ids: np.ndarray) -> np.ndarray:
+        """Flat profile-cell indices of edges (center_id, other_ids)."""
+        x = _popcount(np.int64(center_id) ^ other_ids)
+        o = _popcount(np.int64(center_id) & other_ids)
+        z = self.k - x - o
+        return z * (self.k + 1) + o
+
+    def _count_delta(self, i: int, j: int) -> np.ndarray:
+        """Integer profile-histogram change of swapping σ(i) and σ(j).
+
+        Exact (increment arithmetic), hence independent of neighbour
+        order.  The i-j edge (if any) keeps its profile and is excluded
+        symmetrically.
+        """
         sigma = self.sigma
-        tables = self._tables
-        score = tables.log_p - tables.log_1mp
-        k = self.k
-
-        def edges_term(center: int, center_id: int, skip: int) -> float:
-            neighbors = self._neighbors(center)
-            if neighbors.size == 0:
-                return 0.0
-            neighbors = neighbors[neighbors != skip]
-            if neighbors.size == 0:
-                return 0.0
-            other_ids = sigma[neighbors]
-            # Neighbour j (or i) will itself move; use its post-swap id.
-            x = _popcount(np.int64(center_id) ^ other_ids)
-            o = _popcount(np.int64(center_id) & other_ids)
-            z = k - x - o
-            return float(score[z, o].sum())
-
         id_i, id_j = int(sigma[i]), int(sigma[j])
-        before = edges_term(i, id_i, j) + edges_term(j, id_j, i)
-        # After the swap the ids of i and j are exchanged; the i-j edge (if
-        # any) keeps its profile, and is excluded symmetrically anyway.
-        sigma[i], sigma[j] = id_j, id_i
-        after = edges_term(i, id_j, j) + edges_term(j, id_i, i)
-        sigma[i], sigma[j] = id_i, id_j
-        return after - before
+        nbr_i = self._neighbors(i)
+        nbr_i = nbr_i[nbr_i != j]
+        nbr_j = self._neighbors(j)
+        nbr_j = nbr_j[nbr_j != i]
+        ids_i = sigma[nbr_i]
+        ids_j = sigma[nbr_j]
+        old_cells = np.concatenate(
+            [self._cells(id_i, ids_i), self._cells(id_j, ids_j)]
+        )
+        new_cells = np.concatenate(
+            [self._cells(id_j, ids_i), self._cells(id_i, ids_j)]
+        )
+        return np.bincount(new_cells, minlength=self._n_cells).astype(
+            np.int64, copy=False
+        ) - np.bincount(old_cells, minlength=self._n_cells).astype(
+            np.int64, copy=False
+        )
+
+    def _scan_delta(self, counts: np.ndarray) -> float:
+        """Σ counts[cell] · score[cell] in ascending cell order.
+
+        The scan is a scalar Python loop on purpose: numpy's pairwise
+        summation would round differently from the compiled kernels'
+        sequential accumulation, breaking cross-engine bit-identity.
+        ``np.nonzero`` yields ascending cells — the same order as the
+        kernels' guarded 0..(k+1)²−1 scan.
+        """
+        score = self._score
+        delta = 0.0
+        for cell in np.nonzero(counts)[0]:
+            delta += counts[cell] * score[cell]
+        return delta
+
+    def _swap_delta(self, i: int, j: int) -> float:
+        """Change in the edge term if σ(i) and σ(j) were exchanged.
+
+        Diagnostic view of the score contract (does not mutate state);
+        exactly the delta every engine computes for proposal (i, j).
+        """
+        return self._scan_delta(self._count_delta(i, j))
 
 
 def degree_matched_initial_sigma(graph: Graph, k: int) -> np.ndarray:

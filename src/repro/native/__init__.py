@@ -1,0 +1,73 @@
+"""repro.native — shared native-kernel layer (numba + compiled-C backends).
+
+Hot loops in the reproduction run behind interchangeable execution
+engines selected by one knob, ``REPRO_KERNEL_BACKEND``:
+
+* the **counting kernel** (:mod:`repro.native.counting`) — the fused
+  masked A² pass behind :func:`repro.stats.kernels.triangle_pass`;
+* the **chain kernel** (:mod:`repro.native.chain`) — batched Metropolis
+  proposals for KronFit's permutation sampler
+  (:class:`repro.kronecker.likelihood.PermutationSampler`).
+
+Each kernel is written twice — a numba-jittable Python loop nest and an
+identical C function compiled on first use via the system compiler — and
+registered with the shared machinery in :mod:`repro.native.registry`:
+lazy availability probes with memoized failure reasons, compile-once
+shared-library caching, smoke tests at probe time, and the common
+``auto``/loud-failure resolution contract.  Every engine of a kernel is
+bit-identical to its pure-Python reference; the knob only selects speed.
+"""
+
+from repro.native.chain import (
+    CHAIN_BACKENDS,
+    CHAIN_KERNEL,
+    available_chain_backends,
+    chain_backend_available,
+    chain_backend_error,
+    chain_block,
+    chain_kernel,
+    draw_proposal_batch,
+    resolve_chain_backend,
+)
+from repro.native.counting import (
+    COUNTING_KERNEL,
+    FUSED_BACKENDS,
+    backend_available,
+    backend_error,
+    backend_kernel,
+    fused_block,
+)
+from repro.native.registry import (
+    KERNEL_BACKEND_ENV,
+    NATIVE_BACKENDS,
+    NativeKernel,
+    available_backends,
+    auto_backend,
+    compile_shared_library,
+    resolve_backend,
+)
+
+__all__ = [
+    "NATIVE_BACKENDS",
+    "KERNEL_BACKEND_ENV",
+    "NativeKernel",
+    "compile_shared_library",
+    "resolve_backend",
+    "auto_backend",
+    "available_backends",
+    "COUNTING_KERNEL",
+    "FUSED_BACKENDS",
+    "backend_available",
+    "backend_error",
+    "backend_kernel",
+    "fused_block",
+    "CHAIN_KERNEL",
+    "CHAIN_BACKENDS",
+    "chain_block",
+    "chain_backend_available",
+    "chain_backend_error",
+    "chain_kernel",
+    "draw_proposal_batch",
+    "resolve_chain_backend",
+    "available_chain_backends",
+]

@@ -1,0 +1,401 @@
+"""The fused Metropolis-chain kernel for KronFit permutation sampling.
+
+One KronFit fit runs on the order of 10⁵ Metropolis proposals over node
+correspondences σ (see :mod:`repro.kronecker.likelihood`).  Executed as
+individual Python steps, each proposal costs ~10 tiny numpy operations;
+this module executes whole proposal *batches* inside compiled code, with
+three contracts that make every execution engine bit-identical:
+
+**The draw contract** (:func:`draw_proposal_batch`).  All randomness is
+pre-drawn in numpy-land, once per :meth:`PermutationSampler.run` call:
+
+1. ``i ← rng.integers(0, n, size)`` — one draw per proposal;
+2. ``j ← rng.integers(0, n, size)``, then, while any ``i == j`` collision
+   remains, redraw exactly the colliding ``j`` entries (in index order).
+   Resampling only ``j`` keeps the proposal uniform over *distinct*
+   ordered pairs, and means every proposal is a real swap — ``proposed``
+   and ``acceptance_rate`` count actual proposals;
+3. ``log u ← log(rng.random(size))`` — the acceptance thresholds, drawn
+   after the collision loop settles.
+
+Kernels only ever *consume* these streams, so stream consumption cannot
+depend on the engine or on how a run is chunked into kernel batches.
+
+**The score contract.**  A swap of σ(i) and σ(j) changes the edge term by
+``Σ_cells Δcount[cell] · score[cell]`` where ``score = log P − log(1−P)``
+per profile cell and ``Δcount`` is the *integer* profile-histogram change
+— computed exactly (increments), hence order-independent.  The float
+accumulation scans cells in ascending index order, skipping zero counts;
+the numpy reference performs the identical scan (``np.nonzero`` yields
+ascending cells), so the sum sequence — and therefore every accept/reject
+decision — is bit-identical across engines.  (The cext build passes
+``-ffp-contract=off`` so no FMA contraction can perturb the rounding.)
+
+**The histogram contract.**  ``Δcount`` of an accepted swap is folded
+into the persistent profile histogram, so the histogram is maintained
+incrementally on touched edges only — no O(E) ``edge_profiles`` recompute
+per permutation sample.
+
+The kernel is registered twice (numba jit of :func:`chain_block`, and the
+identical C loop compiled via :func:`repro.native.registry`); the numpy
+reference lives with its caller,
+:class:`repro.kronecker.likelihood.PermutationSampler`.  The equivalence
+matrix (``tests/kronecker/test_chain_equivalence.py``) pins every
+backend × batch size × graph family × θ cell to identical σ trajectories,
+histograms, and acceptance counts.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.native.registry import (
+    NativeKernel,
+    available_backends,
+    resolve_backend,
+)
+
+__all__ = [
+    "CHAIN_KERNEL",
+    "CHAIN_BACKENDS",
+    "chain_block",
+    "chain_backend_available",
+    "chain_backend_error",
+    "chain_kernel",
+    "resolve_chain_backend",
+    "available_chain_backends",
+    "draw_proposal_batch",
+]
+
+# Accepted values of the chain-backend knob.  The chain's pure-Python
+# reference engine is called "numpy"; "scipy" is accepted as an alias so
+# one REPRO_KERNEL_BACKEND value can force the reference engine of both
+# the counting pass and the chain.
+CHAIN_BACKENDS = ("auto", "numpy", "scipy", "numba", "cext")
+
+
+def draw_proposal_batch(
+    rng: np.random.Generator, n_nodes: int, size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pre-draw ``size`` Metropolis proposals: ``(i, j, log u)`` streams.
+
+    This function *is* the draw contract (see the module docstring): every
+    chain engine consumes these arrays verbatim, so trajectories cannot
+    depend on the engine or the kernel batch size.  Requires ``n_nodes >= 2``
+    (with one node no distinct pair exists).
+    """
+    if n_nodes < 2:
+        raise ValidationError(
+            f"proposal draws need at least 2 nodes, got {n_nodes}"
+        )
+    i_nodes = rng.integers(0, n_nodes, size=size, dtype=np.int64)
+    j_nodes = rng.integers(0, n_nodes, size=size, dtype=np.int64)
+    while True:
+        collisions = np.flatnonzero(i_nodes == j_nodes)
+        if collisions.size == 0:
+            break
+        j_nodes[collisions] = rng.integers(
+            0, n_nodes, size=collisions.size, dtype=np.int64
+        )
+    # rng.random() may return exactly 0.0 (probability 2^-53): log u is
+    # -inf, which accepts — matching u < exp(delta) for any finite delta.
+    with np.errstate(divide="ignore"):
+        log_u = np.log(rng.random(size=size))
+    return i_nodes, j_nodes, log_u
+
+
+def chain_block(
+    indptr,
+    indices,
+    sigma,
+    k,
+    score,
+    hist,
+    counts,
+    i_nodes,
+    j_nodes,
+    log_u,
+    start,
+    stop,
+):
+    """Execute proposals ``[start, stop)`` of a pre-drawn stream in place.
+
+    Parameters are the int32 CSR structure of the symmetric adjacency,
+    the int64 correspondence ``sigma`` (mutated on accepted swaps), the
+    Kronecker order ``k``, the flat ``(k+1)²`` float64 score table
+    ``log P − log(1−P)``, the flat int64 profile histogram (maintained
+    incrementally), an all-zero int64 scratch of the same length (left
+    all-zero), and the three draw-contract streams.  Returns the number
+    of accepted swaps.
+    """
+
+    def popcount(v):
+        # Branch-free SWAR popcount; identical in the C twin, and exact
+        # for any non-negative int64 (Kronecker ids are < 2^k).
+        v = v - ((v >> 1) & 0x5555555555555555)
+        v = (v & 0x3333333333333333) + ((v >> 2) & 0x3333333333333333)
+        v = (v + (v >> 4)) & 0x0F0F0F0F0F0F0F0F
+        v = v + (v >> 8)
+        v = v + (v >> 16)
+        v = v + (v >> 32)
+        return v & 0x7F
+
+    n_cells = (k + 1) * (k + 1)
+    accepted = 0
+    for t in range(start, stop):
+        i = i_nodes[t]
+        j = j_nodes[t]
+        id_i = sigma[i]
+        id_j = sigma[j]
+        # Net profile-count change of swapping sigma(i) and sigma(j): the
+        # edges at i trade center id id_i for id_j, the edges at j trade
+        # id_j for id_i; the i-j edge (if any) keeps its profile and is
+        # excluded symmetrically.
+        for idx in range(indptr[i], indptr[i + 1]):
+            w = indices[idx]
+            if w == j:
+                continue
+            wid = sigma[w]
+            x = popcount(id_i ^ wid)
+            o = popcount(id_i & wid)
+            counts[(k - x - o) * (k + 1) + o] -= 1
+            x = popcount(id_j ^ wid)
+            o = popcount(id_j & wid)
+            counts[(k - x - o) * (k + 1) + o] += 1
+        for idx in range(indptr[j], indptr[j + 1]):
+            w = indices[idx]
+            if w == i:
+                continue
+            wid = sigma[w]
+            x = popcount(id_j ^ wid)
+            o = popcount(id_j & wid)
+            counts[(k - x - o) * (k + 1) + o] -= 1
+            x = popcount(id_i ^ wid)
+            o = popcount(id_i & wid)
+            counts[(k - x - o) * (k + 1) + o] += 1
+        # Ascending-cell scan, skipping zero counts: the accumulation
+        # order every engine (incl. the numpy reference) reproduces.
+        delta = 0.0
+        for cell in range(n_cells):
+            if counts[cell] != 0:
+                delta += counts[cell] * score[cell]
+        if delta >= 0.0 or log_u[t] < delta:
+            sigma[i] = id_j
+            sigma[j] = id_i
+            accepted += 1
+            for cell in range(n_cells):
+                if counts[cell] != 0:
+                    hist[cell] += counts[cell]
+                    counts[cell] = 0
+        else:
+            for cell in range(n_cells):
+                counts[cell] = 0
+    return accepted
+
+
+# The cext backend: chain_block transliterated to C.  Kept in lockstep
+# with the Python loop nest above — the chain equivalence suite
+# cross-checks every backend cell on every run.
+_C_SOURCE = """\
+#include <stdint.h>
+
+static int64_t repro_popcount(int64_t v)
+{
+    v = v - ((v >> 1) & 0x5555555555555555LL);
+    v = (v & 0x3333333333333333LL) + ((v >> 2) & 0x3333333333333333LL);
+    v = (v + (v >> 4)) & 0x0F0F0F0F0F0F0F0FLL;
+    v = v + (v >> 8);
+    v = v + (v >> 16);
+    v = v + (v >> 32);
+    return v & 0x7F;
+}
+
+int64_t repro_chain_block(
+    const int32_t *indptr,
+    const int32_t *indices,
+    int64_t *sigma,
+    int64_t k,
+    const double *score,
+    int64_t *hist,
+    int64_t *counts,
+    const int64_t *i_nodes,
+    const int64_t *j_nodes,
+    const double *log_u,
+    int64_t start,
+    int64_t stop)
+{
+    int64_t n_cells = (k + 1) * (k + 1);
+    int64_t accepted = 0;
+    for (int64_t t = start; t < stop; t++) {
+        int64_t i = i_nodes[t];
+        int64_t j = j_nodes[t];
+        int64_t id_i = sigma[i];
+        int64_t id_j = sigma[j];
+        int64_t x, o, wid;
+        for (int32_t idx = indptr[i]; idx < indptr[i + 1]; idx++) {
+            int32_t w = indices[idx];
+            if (w == j) {
+                continue;
+            }
+            wid = sigma[w];
+            x = repro_popcount(id_i ^ wid);
+            o = repro_popcount(id_i & wid);
+            counts[(k - x - o) * (k + 1) + o] -= 1;
+            x = repro_popcount(id_j ^ wid);
+            o = repro_popcount(id_j & wid);
+            counts[(k - x - o) * (k + 1) + o] += 1;
+        }
+        for (int32_t idx = indptr[j]; idx < indptr[j + 1]; idx++) {
+            int32_t w = indices[idx];
+            if (w == i) {
+                continue;
+            }
+            wid = sigma[w];
+            x = repro_popcount(id_j ^ wid);
+            o = repro_popcount(id_j & wid);
+            counts[(k - x - o) * (k + 1) + o] -= 1;
+            x = repro_popcount(id_i ^ wid);
+            o = repro_popcount(id_i & wid);
+            counts[(k - x - o) * (k + 1) + o] += 1;
+        }
+        double delta = 0.0;
+        for (int64_t cell = 0; cell < n_cells; cell++) {
+            if (counts[cell] != 0) {
+                delta += (double)counts[cell] * score[cell];
+            }
+        }
+        if (delta >= 0.0 || log_u[t] < delta) {
+            sigma[i] = id_j;
+            sigma[j] = id_i;
+            accepted += 1;
+            for (int64_t cell = 0; cell < n_cells; cell++) {
+                if (counts[cell] != 0) {
+                    hist[cell] += counts[cell];
+                    counts[cell] = 0;
+                }
+            }
+        } else {
+            for (int64_t cell = 0; cell < n_cells; cell++) {
+                counts[cell] = 0;
+            }
+        }
+    }
+    return accepted;
+}
+"""
+
+
+def _smoke_test(kernel: Callable) -> None:
+    """Run the kernel on a hand-checked 4-proposal batch.
+
+    Path graph 0–1–2–3 at k=2, identity σ, a synthetic score table: the
+    batch accepts a below-threshold negative delta, two non-negative
+    deltas, then rejects a negative delta above its threshold.  Catches a
+    miscompiled or ABI-mismatched kernel at probe time; doubles as the
+    numba warm-up compile.
+    """
+    indptr = np.array([0, 1, 3, 5, 6], dtype=np.int32)
+    indices = np.array([1, 0, 2, 1, 3, 2], dtype=np.int32)
+    sigma = np.arange(4, dtype=np.int64)
+    score = np.array(
+        [0.5, -0.25, 0.125, 1.5, 0.0, 0.0, 0.0, 0.0, 0.0], dtype=np.float64
+    )
+    hist = np.zeros(9, dtype=np.int64)
+    counts = np.zeros(9, dtype=np.int64)
+    i_nodes = np.array([1, 0, 0, 0], dtype=np.int64)
+    j_nodes = np.array([3, 2, 1, 1], dtype=np.int64)
+    log_u = np.array([-2.0, -0.5, -0.5, -0.5], dtype=np.float64)
+    accepted = int(
+        kernel(indptr, indices, sigma, 2, score, hist, counts,
+               i_nodes, j_nodes, log_u, 0, 4)
+    )
+    expected_hist = np.zeros(9, dtype=np.int64)
+    expected_hist[0] = -1
+    expected_hist[3] = 1
+    if (
+        accepted != 3
+        or sigma.tolist() != [3, 2, 0, 1]
+        or not np.array_equal(hist, expected_hist)
+    ):
+        raise RuntimeError(
+            f"chain kernel self-check failed: accepted={accepted}, "
+            f"sigma={sigma.tolist()}, hist={hist.tolist()}"
+        )
+    if counts.any():
+        raise RuntimeError("chain kernel self-check failed: counts not zeroed")
+
+
+_INT32_ARG = np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS")
+_INT64_ARG = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
+_FLOAT64_ARG = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
+
+CHAIN_KERNEL = NativeKernel(
+    name="chain",
+    python_impl=chain_block,
+    c_source=_C_SOURCE,
+    c_symbol="repro_chain_block",
+    c_restype=ctypes.c_int64,
+    c_argtypes=[
+        _INT32_ARG,  # indptr
+        _INT32_ARG,  # indices
+        _INT64_ARG,  # sigma
+        ctypes.c_int64,  # k
+        _FLOAT64_ARG,  # score (flat (k+1)^2)
+        _INT64_ARG,  # hist (flat (k+1)^2)
+        _INT64_ARG,  # counts scratch (flat (k+1)^2)
+        _INT64_ARG,  # i_nodes
+        _INT64_ARG,  # j_nodes
+        _FLOAT64_ARG,  # log_u
+        ctypes.c_int64,  # start
+        ctypes.c_int64,  # stop
+    ],
+    smoke_test=_smoke_test,
+)
+
+
+def chain_backend_available(name: str) -> bool:
+    """Whether the fused chain backend ``name`` can run on this host."""
+    return CHAIN_KERNEL.available(name)
+
+
+def chain_backend_error(name: str) -> str | None:
+    """Why ``name`` is unavailable (None when it is available)."""
+    return CHAIN_KERNEL.error(name)
+
+
+def chain_kernel(name: str) -> Callable:
+    """The batch kernel of an *available* fused chain backend.
+
+    The callable has the :func:`chain_block` signature and contract.
+    """
+    return CHAIN_KERNEL.kernel(name)
+
+
+def resolve_chain_backend(backend: str | None = None) -> str:
+    """The concrete chain engine: argument, else ``REPRO_KERNEL_BACKEND``.
+
+    Returns one of ``numpy`` (the pure-Python reference inside
+    :class:`~repro.kronecker.likelihood.PermutationSampler`), ``numba``,
+    or ``cext``.  ``auto`` prefers the fused engines; ``scipy`` (the
+    counting knob's reference name) is accepted as an alias for
+    ``numpy``, so one environment value drives both kernel families.
+    Naming an unavailable engine raises :class:`ValidationError` with the
+    reason.  Every engine produces bit-identical chains; the knob only
+    selects how fast they run.
+    """
+    return resolve_backend(
+        CHAIN_KERNEL,
+        backend,
+        accepted=CHAIN_BACKENDS,
+        reference="numpy",
+        aliases=("scipy",),
+    )
+
+
+def available_chain_backends() -> tuple[str, ...]:
+    """The chain engines that can run on this host (numpy always can)."""
+    return available_backends(CHAIN_KERNEL, "numpy")

@@ -1,0 +1,297 @@
+"""The native-kernel backend registry: probe, compile-cache, loud failure.
+
+PR 3 introduced fused counting kernels with two execution engines — a
+numba-jitted Python loop nest and the identical loop compiled from C via
+the system compiler and called through :mod:`ctypes` — plus the machinery
+around them: lazy availability probing with memoized failure reasons,
+compile-once shared-library caching with atomic installs, and the
+``REPRO_KERNEL_BACKEND`` resolution contract (``auto`` prefers the fused
+engines and silently falls back to the pure-Python reference; *naming* an
+unavailable engine fails loudly).
+
+That machinery is not counting-specific, and the KronFit permutation
+chain needs exactly the same treatment, so this module hosts it for every
+native kernel in the package:
+
+* :class:`NativeKernel` — one kernel described twice (a numba-jittable
+  Python loop nest and an identical C function), with per-backend lazy
+  probing memoized in :attr:`NativeKernel.states`.  Tests monkeypatch
+  that dict to simulate hosts without numba or a compiler.
+* :func:`compile_shared_library` — compile a C source into a per-user
+  cached ``.so`` (keyed by a hash of source + flags; concurrent probes
+  build to private scratch files and install with atomic renames).
+* :func:`resolve_backend` / :func:`auto_backend` /
+  :func:`available_backends` — the shared resolution contract,
+  parameterized by the kernel and the name of its pure-Python reference
+  engine (``scipy`` for the counting pass, ``numpy`` for the chain).
+
+Concrete kernels live next door: :mod:`repro.native.counting` and
+:mod:`repro.native.chain`.  ``repro.stats._fused`` re-exports the
+counting surface so the PR 3 API keeps working.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "NATIVE_BACKENDS",
+    "KERNEL_BACKEND_ENV",
+    "NativeKernel",
+    "compile_shared_library",
+    "resolve_backend",
+    "auto_backend",
+    "available_backends",
+]
+
+# Compiled backend names, in the preference order `auto` resolution uses.
+NATIVE_BACKENDS = ("numba", "cext")
+
+# The environment knob shared by every native kernel (counting and chain).
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+# Compile flags for every cext kernel.  -ffp-contract=off forbids the
+# compiler from fusing a*b+c into an FMA: the chain kernel accumulates
+# float64 scores and must round exactly like the numba and numpy engines
+# on every host (the counting kernel is pure integer, where the flag is
+# inert).  The flags participate in the cache key, so changing them
+# recompiles.
+_C_FLAGS = ("-O3", "-shared", "-fPIC", "-ffp-contract=off")
+
+
+class NativeKernel:
+    """One kernel implemented as twin loop nests: Python (numba) and C.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier ("counting", "chain"); names the cached ``.so``.
+    python_impl:
+        The plain-Python loop nest.  Must be numba-jittable (it is *not*
+        used as an execution engine itself — the pure-Python reference
+        paths live with their callers).
+    c_source / c_symbol:
+        The identical loop nest as a C translation unit and the exported
+        function name.
+    c_restype / c_argtypes:
+        The ctypes signature of ``c_symbol``.
+    smoke_test:
+        Callable run against every probed kernel on a hand-checked
+        instance; raising turns the probe into "backend unavailable"
+        instead of corrupting results later.  Doubles as the numba
+        warm-up compile.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        python_impl: Callable,
+        c_source: str,
+        c_symbol: str,
+        c_restype,
+        c_argtypes: Sequence,
+        smoke_test: Callable[[Callable], None],
+    ) -> None:
+        self.name = name
+        self.python_impl = python_impl
+        self.c_source = c_source
+        self.c_symbol = c_symbol
+        self.c_restype = c_restype
+        self.c_argtypes = list(c_argtypes)
+        self.smoke_test = smoke_test
+        # Lazily probed backend states: name -> (kernel or None, error or
+        # None); exactly one of the two is None.  Tests monkeypatch
+        # entries to simulate unavailable backends.
+        self.states: dict[str, tuple[Callable | None, str | None]] = {}
+
+    def available(self, backend: str) -> bool:
+        """Whether ``backend`` can run this kernel on this host."""
+        return self._state(backend)[0] is not None
+
+    def error(self, backend: str) -> str | None:
+        """Why ``backend`` is unavailable (None when it is available)."""
+        return self._state(backend)[1]
+
+    def kernel(self, backend: str) -> Callable:
+        """The compiled kernel of an *available* backend.
+
+        Raises ``RuntimeError`` if the backend is unavailable — callers
+        are expected to have gone through :func:`resolve_backend` first,
+        which turns unavailability into a user-facing
+        :class:`ValidationError`.
+        """
+        kernel, error = self._state(backend)
+        if kernel is None:
+            raise RuntimeError(
+                f"fused backend {backend!r} is unavailable: {error}"
+            )
+        return kernel
+
+    # -- internals --------------------------------------------------------
+
+    def _state(self, backend: str) -> tuple[Callable | None, str | None]:
+        if backend not in NATIVE_BACKENDS:
+            raise KeyError(f"unknown fused backend {backend!r}")
+        state = self.states.get(backend)
+        if state is None:
+            probe = self._probe_numba if backend == "numba" else self._probe_cext
+            try:
+                state = (probe(), None)
+            except Exception as error:  # unavailable, remember why
+                state = (None, str(error))
+            self.states[backend] = state
+        return state
+
+    def _probe_numba(self) -> Callable:
+        """Jit the Python loop nest and warm it on the smoke instance."""
+        try:
+            import numba
+        except ImportError:
+            raise RuntimeError(
+                "numba is not installed (pip install numba, or the "
+                "'accel' extra of this package)"
+            )
+        # cache=True persists the compiled kernel next to its module, so
+        # new processes (CLI runs, pool workers under spawn) skip the
+        # multi-second JIT; an unwritable cache location degrades to a
+        # NumbaWarning plus an in-process compile, never an error.
+        kernel = numba.njit(self.python_impl, cache=True, nogil=True)
+        self.smoke_test(kernel)
+        return kernel
+
+    def _probe_cext(self) -> Callable:
+        """Compile the C twin into a cached shared library and load it."""
+        library = compile_shared_library(self.c_source, self.name)
+        raw = getattr(ctypes.CDLL(str(library)), self.c_symbol)
+        raw.restype = self.c_restype
+        raw.argtypes = self.c_argtypes
+
+        def kernel(*args):
+            return raw(*args)
+
+        self.smoke_test(kernel)
+        return kernel
+
+
+def compile_shared_library(c_source: str, tag: str) -> Path:
+    """Compile (once per source revision) and return the library path.
+
+    The library is keyed by a hash of the C source and the compile flags
+    in a per-user cache directory; concurrent processes may race to build
+    it, so each builds to a private temporary file and installs it with an
+    atomic rename.
+    """
+    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        raise RuntimeError("no C compiler found (install cc/gcc or set CC)")
+    fingerprint = c_source + "\x00" + " ".join(_C_FLAGS)
+    digest = hashlib.sha256(fingerprint.encode()).hexdigest()[:16]
+    cache_root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    cache_dir = Path(cache_root) / "repro-kernels"
+    library = cache_dir / f"{tag}-{digest}.so"
+    if library.exists():
+        return library
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    # Both the source and the library are built under private temporary
+    # names and installed with atomic renames: concurrent first-time
+    # probes (e.g. pool workers on a fresh host) must never compile from
+    # — or dlopen — another process's half-written file.
+    source = cache_dir / f"{tag}-{digest}.c"
+    source_fd, source_scratch = tempfile.mkstemp(suffix=".c", dir=cache_dir)
+    with os.fdopen(source_fd, "w", encoding="utf-8") as handle:
+        handle.write(c_source)
+    library_fd, library_scratch = tempfile.mkstemp(suffix=".so", dir=cache_dir)
+    os.close(library_fd)
+    try:
+        completed = subprocess.run(
+            [compiler, *_C_FLAGS, "-o", library_scratch, source_scratch],
+            capture_output=True,
+            text=True,
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(
+                f"C kernel compilation failed ({compiler}): "
+                f"{completed.stderr.strip() or completed.stdout.strip()}"
+            )
+        os.replace(source_scratch, source)  # keep the source for debugging
+        os.replace(library_scratch, library)
+    finally:
+        for scratch in (source_scratch, library_scratch):
+            if os.path.exists(scratch):
+                os.unlink(scratch)
+    return library
+
+
+def auto_backend(kernel: NativeKernel, reference: str) -> str:
+    """``auto`` resolution: the first available native engine, else the
+    kernel's pure-Python reference."""
+    for candidate in NATIVE_BACKENDS:
+        if kernel.available(candidate):
+            return candidate
+    return reference
+
+
+def available_backends(kernel: NativeKernel, reference: str) -> tuple[str, ...]:
+    """The concrete engines that can run ``kernel`` on this host.
+
+    The reference engine leads (it always runs), followed by the
+    available native engines in preference order.
+    """
+    return (reference,) + tuple(
+        name for name in NATIVE_BACKENDS if kernel.available(name)
+    )
+
+
+def resolve_backend(
+    kernel: NativeKernel,
+    backend: str | None = None,
+    *,
+    accepted: tuple[str, ...],
+    reference: str,
+    aliases: tuple[str, ...] = (),
+) -> str:
+    """The concrete engine a pass/chain will run: argument, else environment.
+
+    ``auto`` (the default) resolves to the first available native engine —
+    ``numba``, then the compiled-C ``cext`` — and silently falls back to
+    the kernel's pure-Python ``reference`` when neither can run on this
+    host.  Explicitly requesting an unavailable engine raises a
+    :class:`ValidationError` naming the reason, so a pipeline that
+    *expects* the fused kernels fails loudly instead of quietly running
+    slower.  ``aliases`` are extra names accepted for the reference engine
+    (the chain accepts the counting knob's ``scipy`` as its ``numpy``),
+    keeping one ``REPRO_KERNEL_BACKEND`` value valid for both kernels.
+    """
+    source = "argument"
+    if backend is None:
+        raw = os.environ.get(KERNEL_BACKEND_ENV)
+        if not raw:  # unset or empty = auto
+            return auto_backend(kernel, reference)
+        backend = raw
+        source = f"environment variable {KERNEL_BACKEND_ENV}"
+    if not isinstance(backend, str) or backend not in accepted:
+        raise ValidationError(
+            f"kernel backend (from {source}) must be one of "
+            f"{', '.join(accepted)}, got {backend!r}"
+        )
+    if backend == "auto":
+        return auto_backend(kernel, reference)
+    if backend == reference or backend in aliases:
+        return reference
+    if not kernel.available(backend):
+        raise ValidationError(
+            f"kernel backend {backend!r} (from {source}) is unavailable on "
+            f"this host: {kernel.error(backend)}"
+        )
+    return backend

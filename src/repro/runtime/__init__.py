@@ -14,13 +14,28 @@ such lists through one engine:
 * :class:`TrialRunReport` — the ordered results plus executed/cached
   counts and timing.
 
-The ``REPRO_N_JOBS`` and ``REPRO_CACHE_DIR`` environment knobs (see
-:mod:`repro.evaluation.experiments`) wire the engine into every bench and
-the ``repro run-ensemble`` CLI subcommand.
+Parallel runs reuse one **persistent worker pool** across calls (and
+across the blocked counting passes that fan through the same engine), so
+consecutive ensembles pay the worker start-up cost once;
+:func:`shutdown_pool` releases it, and ``pool="ephemeral"`` /
+``REPRO_POOL=ephemeral`` restores per-call executors.
+
+The ``REPRO_N_JOBS``, ``REPRO_CACHE_DIR``, and ``REPRO_POOL`` environment
+knobs (see :mod:`repro.evaluation.experiments`) wire the engine into
+every bench and the ``repro run-ensemble`` CLI subcommand.
 """
 
 from repro.runtime.cache import TrialCache
-from repro.runtime.engine import resolve_n_jobs, run_trials
+from repro.runtime.engine import (
+    POOL_MODE_ENV,
+    POOL_MODES,
+    persistent_executor,
+    pool_worker_pids,
+    resolve_n_jobs,
+    resolve_pool_mode,
+    run_trials,
+    shutdown_pool,
+)
 from repro.runtime.hashing import code_fingerprint, stable_hash, trial_key
 from repro.runtime.spec import TrialRunReport, TrialSeed, TrialSpec
 
@@ -31,6 +46,12 @@ __all__ = [
     "TrialCache",
     "run_trials",
     "resolve_n_jobs",
+    "resolve_pool_mode",
+    "persistent_executor",
+    "shutdown_pool",
+    "pool_worker_pids",
+    "POOL_MODE_ENV",
+    "POOL_MODES",
     "stable_hash",
     "code_fingerprint",
     "trial_key",

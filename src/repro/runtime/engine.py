@@ -22,10 +22,26 @@ Worker count resolution: an explicit ``n_jobs`` argument wins, then the
 ``REPRO_N_JOBS`` environment variable, then the serial default of 1.
 ``n_jobs <= 0`` means "all available cores".  Trial callables must be
 module-level functions (workers import them by name).
+
+Parallel runs execute on a **persistent worker pool** by default: one
+process-wide :class:`~concurrent.futures.ProcessPoolExecutor`, created on
+first parallel use and reused across :func:`run_trials` calls and blocked
+counting passes, so consecutive ensembles (Table 1's fits, figure
+ensembles, bench trajectories) pay the worker fork/spawn cost once
+instead of per call.  The pool is lifecycle-managed: it is resized only
+when a caller asks for a *different* worker count, shut down at
+interpreter exit (and discarded on breakage), and :func:`shutdown_pool`
+releases it eagerly.  ``pool="ephemeral"`` (or ``REPRO_POOL=ephemeral``)
+restores the per-call executor.  The serial default (``n_jobs=1``) never
+touches any pool, and results are bit-identical either way — per-trial
+seeds depend only on (root seed, index), never on which worker ran what.
+Workers inherit the parent's state (environment, loaded modules) at pool
+creation time, not per call.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import os
 import time
@@ -40,9 +56,94 @@ from repro.runtime.spec import TrialRunReport, TrialSpec
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_integer
 
-__all__ = ["run_trials", "resolve_n_jobs"]
+__all__ = [
+    "run_trials",
+    "resolve_n_jobs",
+    "resolve_pool_mode",
+    "persistent_executor",
+    "shutdown_pool",
+    "pool_worker_pids",
+    "POOL_MODE_ENV",
+    "POOL_MODES",
+]
 
 _logger = get_logger(__name__)
+
+POOL_MODE_ENV = "REPRO_POOL"
+POOL_MODES = ("persistent", "ephemeral")
+
+# The process-wide persistent executor: the pool itself, the worker count
+# it was created for, and whether the atexit hook is installed.
+_pool: concurrent.futures.ProcessPoolExecutor | None = None
+_pool_workers = 0
+_atexit_registered = False
+
+
+def resolve_pool_mode(mode: str | None = None) -> str:
+    """Resolve the executor lifecycle: argument, then ``REPRO_POOL``.
+
+    ``persistent`` (the default) reuses one process-wide pool across
+    parallel runs; ``ephemeral`` creates and tears down an executor per
+    call (the pre-PR 4 behaviour).
+    """
+    source = "argument"
+    if mode is None:
+        raw = os.environ.get(POOL_MODE_ENV)
+        if not raw:  # unset or empty = default
+            return "persistent"
+        mode = raw
+        source = f"environment variable {POOL_MODE_ENV}"
+    if mode not in POOL_MODES:
+        raise ValidationError(
+            f"pool mode (from {source}) must be one of "
+            f"{', '.join(POOL_MODES)}, got {mode!r}"
+        )
+    return mode
+
+
+def persistent_executor(n_workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    """The process-wide pool, (re)created for ``n_workers`` workers.
+
+    Reused as long as callers keep asking for the same worker count; a
+    different count (or a broken pool) shuts the old executor down and
+    builds a fresh one.  Workers are started lazily by the executor, so a
+    pool sized for N workers running fewer pending trials forks only what
+    it needs.
+    """
+    global _pool, _pool_workers, _atexit_registered
+    n_workers = check_integer(n_workers, "n_workers", minimum=1)
+    broken = _pool is not None and getattr(_pool, "_broken", False)
+    if _pool is None or _pool_workers != n_workers or broken:
+        shutdown_pool()
+        _pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
+        _pool_workers = n_workers
+        if not _atexit_registered:
+            atexit.register(shutdown_pool)
+            _atexit_registered = True
+        _logger.debug("persistent pool created with %d workers", n_workers)
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Shut the persistent pool down (idempotent; next use recreates it)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+def pool_worker_pids() -> tuple[int, ...]:
+    """PIDs of the live persistent-pool workers (empty without a pool).
+
+    Workers fork lazily, so the tuple grows as tasks are submitted; a
+    stable tuple across consecutive ensembles is the observable "zero
+    re-fork" guarantee the pool-reuse tests assert.
+    """
+    if _pool is None:
+        return ()
+    processes = getattr(_pool, "_processes", None) or {}
+    return tuple(sorted(processes))
 
 
 def resolve_n_jobs(n_jobs: int | None = None) -> int:
@@ -75,6 +176,7 @@ def run_trials(
     n_jobs: int | None = None,
     cache: TrialCache | str | os.PathLike | None = None,
     label: str = "trials",
+    pool: str | None = None,
 ) -> TrialRunReport:
     """Execute an ensemble of trials, in parallel and with memoization.
 
@@ -97,6 +199,12 @@ def run_trials(
         :class:`~repro.runtime.cache.TrialCache`.
     label:
         Human-readable ensemble name for progress logging.
+    pool:
+        Executor lifecycle for parallel runs: ``persistent`` (default;
+        reuse the process-wide pool across calls) or ``ephemeral`` (a
+        fresh executor per call); see :func:`resolve_pool_mode`.
+        Irrelevant when the run is serial.  Results are bit-identical
+        either way.
 
     Returns
     -------
@@ -105,6 +213,9 @@ def run_trials(
     """
     specs = list(specs)
     n_jobs = resolve_n_jobs(n_jobs)
+    # Validate eagerly: a bad pool mode must fail on the serial/cached
+    # branches too, not only once the call site first runs parallel.
+    pool = resolve_pool_mode(pool)
     store = _as_cache(cache)
     seeds = _effective_seeds(specs, seed)
     start = time.perf_counter()
@@ -132,18 +243,21 @@ def run_trials(
                 results[position] = _run_one(specs[position], seeds[position])
                 _store_result(store, keys[position], results[position])
                 _logger.debug("%s: trial %d done", label, specs[position].index)
+        elif pool == "persistent":
+            # Size the pool by the requested n_jobs (stable across calls
+            # with the same budget), not by this call's pending count —
+            # workers fork lazily, so a small ensemble on a big pool only
+            # starts what it uses.
+            executor = persistent_executor(n_jobs)
+            try:
+                _collect(executor, specs, seeds, pending, results, keys, store, label)
+            except concurrent.futures.process.BrokenProcessPool:
+                shutdown_pool()  # do not hand a dead pool to the next caller
+                raise
         else:
             workers = min(n_jobs, len(pending))
-            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_run_one, specs[position], seeds[position]): position
-                    for position in pending
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    position = futures[future]
-                    results[position] = future.result()
-                    _store_result(store, keys[position], results[position])
-                    _logger.debug("%s: trial %d done", label, specs[position].index)
+            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as executor:
+                _collect(executor, specs, seeds, pending, results, keys, store, label)
 
     elapsed = time.perf_counter() - start
     _logger.info(
@@ -157,6 +271,38 @@ def run_trials(
         n_jobs=n_jobs,
         elapsed=elapsed,
     )
+
+
+def _collect(
+    executor: concurrent.futures.Executor,
+    specs: Sequence[TrialSpec],
+    seeds: Sequence[Any],
+    pending: Sequence[int],
+    results: list[Any],
+    keys: Sequence[str | None],
+    store: TrialCache | None,
+    label: str,
+) -> None:
+    """Submit the pending trials and fold results back in spec order.
+
+    On any failure the not-yet-started futures are cancelled before the
+    exception propagates, so a persistent pool is left idle (and usable)
+    rather than draining abandoned work.
+    """
+    futures = {
+        executor.submit(_run_one, specs[position], seeds[position]): position
+        for position in pending
+    }
+    try:
+        for future in concurrent.futures.as_completed(futures):
+            position = futures[future]
+            results[position] = future.result()
+            _store_result(store, keys[position], results[position])
+            _logger.debug("%s: trial %d done", label, specs[position].index)
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
 
 
 def _run_one(spec: TrialSpec, trial_seed: Any) -> Any:

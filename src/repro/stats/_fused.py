@@ -1,55 +1,32 @@
-"""Fused counting kernels: one CSR walk per row block, no product matrix.
+"""Back-compat shim: the fused counting kernels now live in ``repro.native``.
 
-The scipy backend of :func:`repro.stats.kernels.triangle_pass` is bound by
-the sparse product ``A[r0:r1] @ A``: scipy's SpGEMM materializes (and
-sorts the column indices of) every path-2 entry before the pass reduces
-them.  The fused kernels here never build the product.  They walk the CSR
-rows directly with Gustavson's dense accumulator —
+PR 3 introduced the fused counting backends here; PR 4 promoted the
+backend machinery (probing, compile caching, resolution) into the shared
+native-kernel layer so the KronFit chain kernels could reuse it.  This
+module re-exports the counting surface under its historical names so
+``from repro.stats import _fused`` keeps working:
 
-* scatter the multiplicities of every 2-path out of row ``u`` into an
-  O(n) workspace,
-* read the edge-restricted sum straight back through ``N(u)`` (twice the
-  row's triangle count),
-* fold the off-diagonal maximum (the LS_Δ ingredient) while zeroing the
-  touched workspace slots for the next row —
+* :data:`FUSED_BACKENDS`, :func:`backend_available`,
+  :func:`backend_error`, :func:`backend_kernel`, :func:`fused_block` —
+  straight re-exports of :mod:`repro.native.counting`;
+* :data:`_STATES` — an alias of the counting kernel's live state dict
+  (``repro.native.counting.COUNTING_KERNEL.states``), kept because tests
+  monkeypatch its entries to simulate hosts without numba or a compiler.
 
-so each path-2 contribution costs one increment instead of an SpGEMM
-entry, and peak extra memory is two length-n scratch arrays.
-
-Two interchangeable implementations of the same block kernel:
-
-* ``numba`` — the Python loop nest :func:`fused_block` jitted by numba.
-  Optional dependency: when numba is not importable the backend reports
-  itself unavailable with the import error as the reason.
-* ``cext`` — the identical loop nest as a ~40-line C function, compiled
-  on first use with the system C compiler into a cached shared library
-  and called through :mod:`ctypes`.  Needs only a working ``cc``; it is
-  the fused fallback on hosts without numba.
-
-Both are integer-exact (the arithmetic is increments and comparisons on
-int64 accumulators), so their results are bit-identical to the scipy
-backend and to the pre-blocking reference oracles — the cross-backend
-equivalence suite (``tests/stats/test_backend_equivalence.py``) enforces
-this for every block size and graph family.
-
-Availability is probed lazily and memoized in :data:`_STATES`; the tests
-monkeypatch that dict to simulate a host without numba.  This module is
-private: backend selection goes through
+Backend selection still goes through
 :func:`repro.stats.kernels.resolve_kernel_backend`.
 """
 
 from __future__ import annotations
 
-import ctypes
-import hashlib
-import os
-import shutil
-import subprocess
-import tempfile
-from pathlib import Path
-from typing import Callable
-
-import numpy as np
+from repro.native.counting import (
+    COUNTING_KERNEL,
+    FUSED_BACKENDS,
+    backend_available,
+    backend_error,
+    backend_kernel,
+    fused_block,
+)
 
 __all__ = [
     "FUSED_BACKENDS",
@@ -59,249 +36,7 @@ __all__ = [
     "fused_block",
 ]
 
-# Fused backend names, in the preference order `auto` resolution uses.
-FUSED_BACKENDS = ("numba", "cext")
-
-# Lazily probed backend states: name -> (kernel or None, error or None).
-# Exactly one of the two is None.  Tests monkeypatch entries to simulate
-# unavailable backends.
-_STATES: dict[str, tuple[Callable | None, str | None]] = {}
-
-
-def fused_block(indptr, indices, r0, r1, per_node, workspace, touched):
-    """One fused row block of the A² pass (jitted by the numba backend).
-
-    Parameters are the int32 CSR structure of the symmetric adjacency,
-    the block's row range ``[r0, r1)``, the block's slice of the per-node
-    triangle vector (int64, written in place), and two zeroed/garbage
-    scratch arrays of length ``n_nodes`` (int64 counts, int32 touched
-    columns).  Returns the block's off-diagonal maximum common-neighbour
-    count.  The workspace must arrive all-zero and is left all-zero.
-    """
-    max_common = np.int64(0)
-    for u in range(r0, r1):
-        row_start = indptr[u]
-        row_end = indptr[u + 1]
-        n_touched = 0
-        for idx in range(row_start, row_end):
-            w = indices[idx]
-            for jdx in range(indptr[w], indptr[w + 1]):
-                v = indices[jdx]
-                if workspace[v] == 0:
-                    touched[n_touched] = v
-                    n_touched += 1
-                workspace[v] += 1
-        on_edges = np.int64(0)
-        for idx in range(row_start, row_end):
-            on_edges += workspace[indices[idx]]
-        per_node[u - r0] = on_edges // 2
-        for t in range(n_touched):
-            v = touched[t]
-            count = workspace[v]
-            workspace[v] = 0
-            if v != u and count > max_common:
-                max_common = count
-    return max_common
-
-
-# The cext backend: fused_block transliterated to C.  Kept in lockstep
-# with the Python loop nest above — the equivalence suite cross-checks
-# every backend against the reference oracles on every run.
-_C_SOURCE = """\
-#include <stdint.h>
-
-int64_t repro_fused_block(
-    const int32_t *indptr,
-    const int32_t *indices,
-    int64_t r0,
-    int64_t r1,
-    int64_t *per_node,
-    int64_t *workspace,
-    int32_t *touched)
-{
-    int64_t max_common = 0;
-    for (int64_t u = r0; u < r1; u++) {
-        int32_t row_start = indptr[u];
-        int32_t row_end = indptr[u + 1];
-        int64_t n_touched = 0;
-        for (int32_t idx = row_start; idx < row_end; idx++) {
-            int32_t w = indices[idx];
-            for (int32_t jdx = indptr[w]; jdx < indptr[w + 1]; jdx++) {
-                int32_t v = indices[jdx];
-                if (workspace[v] == 0) {
-                    touched[n_touched++] = v;
-                }
-                workspace[v] += 1;
-            }
-        }
-        int64_t on_edges = 0;
-        for (int32_t idx = row_start; idx < row_end; idx++) {
-            on_edges += workspace[indices[idx]];
-        }
-        per_node[u - r0] = on_edges / 2;
-        for (int64_t t = 0; t < n_touched; t++) {
-            int32_t v = touched[t];
-            int64_t count = workspace[v];
-            workspace[v] = 0;
-            if (v != (int32_t)u && count > max_common) {
-                max_common = count;
-            }
-        }
-    }
-    return max_common;
-}
-"""
-
-
-def backend_available(name: str) -> bool:
-    """Whether the fused backend ``name`` can run on this host."""
-    return _state(name)[0] is not None
-
-
-def backend_error(name: str) -> str | None:
-    """Why ``name`` is unavailable (None when it is available)."""
-    return _state(name)[1]
-
-
-def backend_kernel(name: str) -> Callable:
-    """The block kernel of an *available* fused backend.
-
-    The callable has the :func:`fused_block` signature and contract.
-    Raises ``RuntimeError`` if the backend is unavailable — callers are
-    expected to have gone through
-    :func:`repro.stats.kernels.resolve_kernel_backend` first, which turns
-    unavailability into a user-facing ``ValidationError``.
-    """
-    kernel, error = _state(name)
-    if kernel is None:
-        raise RuntimeError(f"fused backend {name!r} is unavailable: {error}")
-    return kernel
-
-
-def _state(name: str) -> tuple[Callable | None, str | None]:
-    if name not in FUSED_BACKENDS:
-        raise KeyError(f"unknown fused backend {name!r}")
-    state = _STATES.get(name)
-    if state is None:
-        probe = _probe_numba if name == "numba" else _probe_cext
-        try:
-            state = (probe(), None)
-        except Exception as error:  # unavailable, remember why
-            state = (None, str(error))
-        _STATES[name] = state
-    return state
-
-
-def _probe_numba() -> Callable:
-    """Jit :func:`fused_block` and warm it on a tiny instance."""
-    try:
-        import numba
-    except ImportError:
-        raise RuntimeError(
-            "numba is not installed (pip install numba, or the "
-            "'accel' extra of this package)"
-        )
-    # cache=True persists the compiled kernel next to this module, so new
-    # processes (CLI runs, pool workers under spawn) skip the multi-second
-    # JIT; an unwritable cache location degrades to a NumbaWarning plus an
-    # in-process compile, never an error.
-    kernel = numba.njit(fused_block, cache=True, nogil=True)
-    _smoke_test(kernel)
-    return kernel
-
-
-def _probe_cext() -> Callable:
-    """Compile the C kernel into a cached shared library and load it."""
-    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
-    if compiler is None:
-        raise RuntimeError("no C compiler found (install cc/gcc or set CC)")
-    library = _compiled_library_path(compiler)
-    raw = ctypes.CDLL(str(library)).repro_fused_block
-    int32_arg = np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS")
-    int64_arg = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
-    raw.restype = ctypes.c_int64
-    raw.argtypes = [
-        int32_arg,  # indptr
-        int32_arg,  # indices
-        ctypes.c_int64,  # r0
-        ctypes.c_int64,  # r1
-        int64_arg,  # per_node (block slice)
-        int64_arg,  # workspace
-        int32_arg,  # touched
-    ]
-
-    def kernel(indptr, indices, r0, r1, per_node, workspace, touched):
-        return raw(indptr, indices, r0, r1, per_node, workspace, touched)
-
-    _smoke_test(kernel)
-    return kernel
-
-
-def _compiled_library_path(compiler: str) -> Path:
-    """Compile (once per source revision) and return the library path.
-
-    The library is keyed by a hash of the C source in a per-user cache
-    directory; concurrent processes may race to build it, so each builds
-    to a private temporary file and installs it with an atomic rename.
-    """
-    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-    cache_root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
-        os.path.expanduser("~"), ".cache"
-    )
-    cache_dir = Path(cache_root) / "repro-kernels"
-    library = cache_dir / f"fused-{digest}.so"
-    if library.exists():
-        return library
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    # Both the source and the library are built under private temporary
-    # names and installed with atomic renames: concurrent first-time
-    # probes (e.g. pool workers on a fresh host) must never compile from
-    # — or dlopen — another process's half-written file.
-    source = cache_dir / f"fused-{digest}.c"
-    source_fd, source_scratch = tempfile.mkstemp(suffix=".c", dir=cache_dir)
-    with os.fdopen(source_fd, "w", encoding="utf-8") as handle:
-        handle.write(_C_SOURCE)
-    library_fd, library_scratch = tempfile.mkstemp(suffix=".so", dir=cache_dir)
-    os.close(library_fd)
-    try:
-        completed = subprocess.run(
-            [compiler, "-O3", "-shared", "-fPIC", "-o", library_scratch, source_scratch],
-            capture_output=True,
-            text=True,
-        )
-        if completed.returncode != 0:
-            raise RuntimeError(
-                f"C kernel compilation failed ({compiler}): "
-                f"{completed.stderr.strip() or completed.stdout.strip()}"
-            )
-        os.replace(source_scratch, source)  # keep the source for debugging
-        os.replace(library_scratch, library)
-    finally:
-        for scratch in (source_scratch, library_scratch):
-            if os.path.exists(scratch):
-                os.unlink(scratch)
-    return library
-
-
-def _smoke_test(kernel: Callable) -> None:
-    """Run the kernel on a hand-checked diamond graph.
-
-    Catches a miscompiled or ABI-mismatched kernel at probe time (turning
-    it into "backend unavailable") instead of corrupting statistics later.
-    Also serves as the numba warm-up compile.
-    """
-    # The diamond: triangles {0,1,2} and {1,2,3}; nodes 0 and 3 (and the
-    # adjacent pair 1, 2) share two common neighbours.
-    indptr = np.array([0, 2, 5, 8, 10], dtype=np.int32)
-    indices = np.array([1, 2, 0, 2, 3, 0, 1, 3, 1, 2], dtype=np.int32)
-    per_node = np.zeros(4, dtype=np.int64)
-    workspace = np.zeros(4, dtype=np.int64)
-    touched = np.empty(4, dtype=np.int32)
-    max_common = int(kernel(indptr, indices, 0, 4, per_node, workspace, touched))
-    if per_node.tolist() != [1, 2, 2, 1] or max_common != 2:
-        raise RuntimeError(
-            f"fused kernel self-check failed: per_node={per_node.tolist()}, "
-            f"max_common={max_common}"
-        )
-    if workspace.any():
-        raise RuntimeError("fused kernel self-check failed: workspace not zeroed")
+# The counting kernel's live backend states ("numba"/"cext" ->
+# (kernel or None, error or None)).  The *same dict object* the registry
+# consults, so monkeypatching entries here changes resolution everywhere.
+_STATES = COUNTING_KERNEL.states

@@ -55,6 +55,8 @@ import scipy.sparse as sp
 
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
+from repro.native import counting as _native_counting
+from repro.native import registry as _native_registry
 from repro.stats import _fused
 from repro.utils.validation import check_integer
 
@@ -75,14 +77,20 @@ __all__ = [
     "BLOCK_SIZE_ENV",
     "KERNEL_BACKEND_ENV",
     "KERNEL_BACKENDS",
+    "KERNEL_BACKEND_CHOICES",
 ]
 
 BLOCK_SIZE_ENV = "REPRO_BLOCK_SIZE"
-KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+KERNEL_BACKEND_ENV = _native_registry.KERNEL_BACKEND_ENV
 
-# Accepted values of the backend knob.  "auto" resolves to the first
+# Canonical values of the backend knob.  "auto" resolves to the first
 # available entry of _fused.FUSED_BACKENDS, else "scipy".
 KERNEL_BACKENDS = ("auto", "scipy") + _fused.FUSED_BACKENDS
+
+# Everything the knob accepts: the chain kernels call their pure-Python
+# reference "numpy", so each kernel family aliases the other's reference
+# name — one REPRO_KERNEL_BACKEND value is valid everywhere.
+KERNEL_BACKEND_CHOICES = ("auto", "scipy", "numpy") + _fused.FUSED_BACKENDS
 
 # Auto-tuning budget: target number of stored entries in one row-block of
 # A @ A.  At int64 data plus index arrays this is roughly 64 MiB per block
@@ -172,41 +180,23 @@ def resolve_kernel_backend(backend: str | None = None) -> str:
     unavailable backend raises a :class:`ValidationError` naming the
     reason, so a pipeline that *expects* the fused kernels fails loudly
     instead of quietly running slower.  Every backend returns bit-identical
-    statistics; the knob only selects the execution engine.
+    statistics; the knob only selects the execution engine.  (The shared
+    resolution contract lives in :mod:`repro.native.registry`; the same
+    ``REPRO_KERNEL_BACKEND`` knob also drives the KronFit chain kernels.)
     """
-    source = "argument"
-    if backend is None:
-        raw = os.environ.get(KERNEL_BACKEND_ENV)
-        if not raw:  # unset or empty = auto
-            return _auto_backend()
-        backend = raw
-        source = f"environment variable {KERNEL_BACKEND_ENV}"
-    if not isinstance(backend, str) or backend not in KERNEL_BACKENDS:
-        raise ValidationError(
-            f"kernel backend (from {source}) must be one of "
-            f"{', '.join(KERNEL_BACKENDS)}, got {backend!r}"
-        )
-    if backend == "auto":
-        return _auto_backend()
-    if backend != "scipy" and not _fused.backend_available(backend):
-        raise ValidationError(
-            f"kernel backend {backend!r} (from {source}) is unavailable on "
-            f"this host: {_fused.backend_error(backend)}"
-        )
-    return backend
-
-
-def _auto_backend() -> str:
-    for candidate in _fused.FUSED_BACKENDS:
-        if _fused.backend_available(candidate):
-            return candidate
-    return "scipy"
+    return _native_registry.resolve_backend(
+        _native_counting.COUNTING_KERNEL,
+        backend,
+        accepted=KERNEL_BACKEND_CHOICES,
+        reference="scipy",
+        aliases=("numpy",),
+    )
 
 
 def available_kernel_backends() -> tuple[str, ...]:
     """The concrete backends that can run on this host (scipy always can)."""
-    return ("scipy",) + tuple(
-        name for name in _fused.FUSED_BACKENDS if _fused.backend_available(name)
+    return _native_registry.available_backends(
+        _native_counting.COUNTING_KERNEL, "scipy"
     )
 
 

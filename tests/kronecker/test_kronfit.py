@@ -82,3 +82,47 @@ class TestKronFitEdgeCases:
             assert 0.0 < a < 1.0
             assert 0.0 < b < 1.0
             assert 0.0 < c < 1.0
+
+    def test_unavailable_backend_fails_loudly(self, monkeypatch):
+        from repro.native.chain import CHAIN_KERNEL
+
+        from repro.errors import ValidationError
+
+        monkeypatch.setitem(
+            CHAIN_KERNEL.states, "numba", (None, "numba is not installed")
+        )
+        graph = Graph(4, [(0, 1), (2, 3)])
+        with pytest.raises(ValidationError, match="numba is not installed"):
+            KronFitEstimator(n_iterations=1, backend="numba").fit(graph)
+
+
+class TestAcceptanceRateOnTinyGraphs:
+    """KronFitResult.acceptance_rate bounds where proposal counting is
+    most fragile: with 2 nodes every draw collides at probability 1/2 and
+    must be resampled into the single distinct pair."""
+
+    @pytest.mark.parametrize(
+        "graph, expected_k",
+        [
+            (Graph(2, [(0, 1)]), 1),
+            (Graph(4, [(0, 1), (1, 2)]), 2),
+            (Graph(3, [(0, 1)]), 2),  # padded: isolated padding node
+        ],
+    )
+    def test_rate_is_a_valid_fraction(self, graph, expected_k):
+        result = KronFitEstimator(
+            n_iterations=3, warmup_swaps=20, n_permutation_samples=2,
+            sample_spacing=10, seed=0,
+        ).fit(graph)
+        assert result.k == expected_k
+        assert 0.0 <= result.acceptance_rate <= 1.0
+
+    def test_two_node_graph_always_accepts(self):
+        # n=2: the only proposal swaps the two ids, and swapping back and
+        # forth leaves the single-edge profile unchanged (delta = 0), so
+        # every proposal is accepted.
+        result = KronFitEstimator(
+            n_iterations=2, warmup_swaps=10, n_permutation_samples=1,
+            sample_spacing=5, seed=1,
+        ).fit(Graph(2, [(0, 1)]))
+        assert result.acceptance_rate == 1.0

@@ -121,13 +121,61 @@ class TestPermutationSampler:
         assert sorted(sampler.sigma.tolist()) == list(range(small_skg.n_nodes))
 
     def test_acceptance_counting(self, small_skg):
+        # Every draw-contract proposal is a real swap (i == j is resampled
+        # away), so `proposed` counts exactly the requested steps.
         sampler = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2))
         sampler.run(300, np.random.default_rng(2))
-        assert 0 <= sampler.accepted <= sampler.proposed <= 300
+        assert sampler.proposed == 300
+        assert 0 <= sampler.accepted <= sampler.proposed
+
+    def test_step_counts_every_proposal(self, small_skg):
+        sampler = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2))
+        rng = np.random.default_rng(4)
+        outcomes = [sampler.step(rng) for _ in range(50)]
+        assert sampler.proposed == 50
+        assert sampler.accepted == sum(outcomes)
+
+    def test_histogram_maintained_incrementally(self, small_skg):
+        from repro.kronecker.likelihood import edge_profiles, profile_histogram
+
+        sampler = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2))
+        sampler.run(400, np.random.default_rng(6))
+        z, x, o = edge_profiles(small_skg, sampler.sigma, 5)
+        np.testing.assert_array_equal(
+            sampler.histogram(), profile_histogram(z, x, o, 5)
+        )
+
+    def test_histogram_total_stays_edge_count(self, small_skg):
+        sampler = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2))
+        sampler.run(200, np.random.default_rng(8))
+        assert sampler.histogram().sum() == small_skg.n_edges
+
+    def test_set_sigma_rebuilds_histogram(self, small_skg):
+        sampler = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2))
+        sampler.run(100, np.random.default_rng(9))
+        fresh = np.arange(small_skg.n_nodes, dtype=np.int64)
+        sampler.set_sigma(fresh)
+        other = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2), sigma=fresh)
+        np.testing.assert_array_equal(sampler.histogram(), other.histogram())
+
+    def test_run_batch_size_does_not_change_the_trajectory(self, small_skg):
+        results = []
+        for batch_size in (None, 1, 23):
+            sampler = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2))
+            sampler.run(250, np.random.default_rng(10), batch_size=batch_size)
+            results.append((sampler.sigma.copy(), sampler.accepted))
+        for sigma, accepted in results[1:]:
+            np.testing.assert_array_equal(sigma, results[0][0])
+            assert accepted == results[0][1]
 
     def test_wrong_graph_size_rejected(self):
         with pytest.raises(ValidationError):
             PermutationSampler(Graph(3, [(0, 1)]), 2, Initiator(0.5, 0.5, 0.5))
+
+    def test_negative_steps_rejected(self, small_skg):
+        sampler = PermutationSampler(small_skg, 5, Initiator(0.7, 0.4, 0.2))
+        with pytest.raises(ValidationError):
+            sampler.run(-1, np.random.default_rng(0))
 
 
 class TestInitialSigma:
@@ -135,7 +183,41 @@ class TestInitialSigma:
         sigma = degree_matched_initial_sigma(small_skg, 5)
         assert sorted(sigma.tolist()) == list(range(32))
 
+    def test_is_permutation_across_families(self):
+        from repro.graphs.generators import complete_graph, star_graph
+
+        for graph, k in (
+            (star_graph(16), 4),
+            (complete_graph(8), 3),
+            (Graph(8, [(0, 1)]), 3),
+            (Graph(4), 2),  # no edges: all degrees tie
+        ):
+            sigma = degree_matched_initial_sigma(graph, k)
+            assert sorted(sigma.tolist()) == list(range(graph.n_nodes))
+
     def test_highest_degree_gets_fewest_one_bits(self, small_skg):
         sigma = degree_matched_initial_sigma(small_skg, 5)
         top_node = int(np.argmax(small_skg.degrees))
         assert sigma[top_node] == 0  # id 0 has popcount 0: highest expected degree
+
+    def test_popcount_rank_breaks_id_ties_by_value(self):
+        # All degrees equal (clique): nodes rank by index, so node i gets
+        # the i-th id in (popcount, value) order — 0; 1, 2, 4; 3, 5, 6; 7.
+        from repro.graphs.generators import complete_graph
+
+        sigma = degree_matched_initial_sigma(complete_graph(8), 3)
+        assert sigma.tolist() == [0, 1, 2, 4, 3, 5, 6, 7]
+
+    def test_duplicate_degrees_rank_stably_by_node_index(self):
+        # Leaves of a star all tie: the stable sort must hand them ids in
+        # node order, and repeated calls must agree exactly.
+        from repro.graphs.generators import star_graph
+
+        graph = star_graph(8)
+        sigma = degree_matched_initial_sigma(graph, 3)
+        assert sigma[0] == 0  # the hub takes the highest-expected-degree id
+        leaves = sigma[1:]
+        assert leaves.tolist() == [1, 2, 4, 3, 5, 6, 7]
+        np.testing.assert_array_equal(
+            sigma, degree_matched_initial_sigma(star_graph(8), 3)
+        )

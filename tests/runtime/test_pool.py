@@ -1,0 +1,154 @@
+"""Tests for the persistent worker pool behind parallel ``run_trials``.
+
+The contract: parallel runs reuse one process-wide executor across
+consecutive ensembles (zero re-fork between them), results stay
+bit-identical to serial at any worker count and in either pool mode, and
+the pool is lifecycle-managed — resized on a different worker budget,
+discarded on breakage, released by :func:`shutdown_pool`, and never
+created by serial runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime import (
+    POOL_MODE_ENV,
+    TrialSpec,
+    pool_worker_pids,
+    resolve_pool_mode,
+    run_trials,
+    shutdown_pool,
+)
+from repro.runtime import engine as engine_module
+from repro.stats.kernels import triangle_pass
+from repro.graphs.generators import erdos_renyi_graph
+
+
+def _pid_trial(rng):
+    """Report which worker ran the trial."""
+    return os.getpid()
+
+
+def _draw_trial(rng, *, size):
+    """Deterministic function of the trial's RNG stream alone."""
+    return rng.standard_normal(size).tolist()
+
+
+def _failing_trial(rng):
+    raise RuntimeError("pool trial exploded")
+
+
+def _specs(fn=_draw_trial, count=6, **params):
+    if fn is _draw_trial and not params:
+        params = {"size": 3}
+    return [TrialSpec(fn=fn, params=params, index=trial) for trial in range(count)]
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Isolate every test from pools created by earlier tests."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+class TestPersistentReuse:
+    def test_zero_refork_between_consecutive_ensembles(self):
+        first = run_trials(_specs(_pid_trial, count=8), seed=1, n_jobs=2)
+        executor = engine_module._pool
+        pids_after_first = pool_worker_pids()
+        second = run_trials(_specs(_pid_trial, count=8), seed=2, n_jobs=2)
+        assert engine_module._pool is executor  # same executor object
+        assert pool_worker_pids() == pids_after_first  # zero re-fork
+        assert set(second.results) <= set(pids_after_first)
+        assert set(first.results) <= set(pids_after_first)
+
+    def test_blocked_counting_pass_reuses_the_same_pool(self):
+        """`triangle_pass(..., n_jobs>1)` rides the persistent pool too."""
+        graph = erdos_renyi_graph(240, 0.06, seed=23)
+        first = triangle_pass(graph, block_size=30, n_jobs=2)
+        pids = pool_worker_pids()
+        assert pids  # the fan-out actually used the persistent pool
+        second = triangle_pass(graph, block_size=30, n_jobs=2)
+        assert pool_worker_pids() == pids
+        assert first.triangles == second.triangles
+        np.testing.assert_array_equal(
+            np.asarray(first.per_node), np.asarray(second.per_node)
+        )
+
+    def test_bit_identical_to_serial_at_any_worker_count(self):
+        serial = run_trials(_specs(), seed=11, n_jobs=1)
+        for n_jobs in (2, 4):
+            parallel = run_trials(_specs(), seed=11, n_jobs=n_jobs)
+            assert parallel.results == serial.results
+
+    def test_different_worker_budget_resizes_the_pool(self):
+        run_trials(_specs(_pid_trial, count=4), seed=1, n_jobs=2)
+        first_executor = engine_module._pool
+        run_trials(_specs(_pid_trial, count=4), seed=1, n_jobs=3)
+        assert engine_module._pool is not first_executor
+        assert engine_module._pool_workers == 3
+
+    def test_serial_runs_never_create_a_pool(self):
+        run_trials(_specs(), seed=11, n_jobs=1)
+        assert pool_worker_pids() == ()
+        assert engine_module._pool is None
+
+    def test_shutdown_is_idempotent_and_pool_recreates(self):
+        run_trials(_specs(_pid_trial, count=4), seed=1, n_jobs=2)
+        assert pool_worker_pids()
+        shutdown_pool()
+        shutdown_pool()
+        assert pool_worker_pids() == ()
+        report = run_trials(_specs(_pid_trial, count=4), seed=1, n_jobs=2)
+        assert len(report.results) == 4
+
+    def test_trial_exception_propagates_and_pool_stays_usable(self):
+        run_trials(_specs(_pid_trial, count=4), seed=1, n_jobs=2)
+        executor = engine_module._pool
+        with pytest.raises(RuntimeError, match="pool trial exploded"):
+            run_trials(_specs(_failing_trial, count=3), seed=0, n_jobs=2)
+        # A raised trial does not break the pool: the next ensemble reuses it.
+        report = run_trials(_specs(), seed=11, n_jobs=2)
+        assert engine_module._pool is executor
+        assert report.results == run_trials(_specs(), seed=11, n_jobs=1).results
+
+
+class TestEphemeralMode:
+    def test_ephemeral_runs_leave_no_persistent_pool(self):
+        serial = run_trials(_specs(), seed=11, n_jobs=1)
+        parallel = run_trials(_specs(), seed=11, n_jobs=2, pool="ephemeral")
+        assert parallel.results == serial.results
+        assert engine_module._pool is None
+
+    def test_environment_knob(self, monkeypatch):
+        monkeypatch.setenv(POOL_MODE_ENV, "ephemeral")
+        assert resolve_pool_mode() == "ephemeral"
+        run_trials(_specs(count=3), seed=1, n_jobs=2)
+        assert engine_module._pool is None
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(POOL_MODE_ENV, "ephemeral")
+        assert resolve_pool_mode("persistent") == "persistent"
+
+    def test_empty_environment_means_default(self, monkeypatch):
+        monkeypatch.setenv(POOL_MODE_ENV, "")
+        assert resolve_pool_mode() == "persistent"
+
+    def test_invalid_mode_rejected(self, monkeypatch):
+        with pytest.raises(ValidationError, match="pool mode"):
+            resolve_pool_mode("forever")
+        monkeypatch.setenv(POOL_MODE_ENV, "sometimes")
+        with pytest.raises(ValidationError, match=POOL_MODE_ENV):
+            resolve_pool_mode()
+
+    def test_invalid_mode_rejected_even_on_the_serial_branch(self):
+        """A typo'd pool mode must fail where it is written, not later
+        when the call site first happens to run parallel."""
+        with pytest.raises(ValidationError, match="pool mode"):
+            run_trials(_specs(count=2), seed=0, n_jobs=1, pool="persistant")

@@ -171,6 +171,18 @@ class TestBackendResolution:
         assert "scipy" in available_kernel_backends()
         assert resolve_kernel_backend("scipy") == "scipy"
 
+    def test_numpy_aliases_the_reference_engine(self, monkeypatch):
+        """The chain kernels call their reference 'numpy'; the counting
+        resolution accepts it so one knob value drives both families."""
+        assert resolve_kernel_backend("numpy") == "scipy"
+        monkeypatch.setenv(KERNEL_BACKEND_ENV, "numpy")
+        assert resolve_kernel_backend() == "scipy"
+        result = triangle_pass(family_graph("star"), 0, "numpy")
+        assert_bit_identical(
+            family_graph("star"), family_reference("star"), "numpy", 0
+        )
+        assert result.triangles == family_reference("star").triangles
+
     def test_environment_knob(self, monkeypatch):
         monkeypatch.setenv(KERNEL_BACKEND_ENV, "scipy")
         assert resolve_kernel_backend() == "scipy"

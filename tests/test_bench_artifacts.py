@@ -1,0 +1,64 @@
+"""Committed bench artifacts must stay in sync with their bench scripts.
+
+``benchmarks/out/BENCH_*.json`` files are committed performance records
+(the authoritative before/after numbers the README and ROADMAP cite).
+Each emitting script declares a ``SCHEMA_VERSION`` it writes into its
+report; when a script changes its JSON layout it must bump the constant
+and the artifact must be regenerated.  These tests fail when the two
+drift — or when a new ``BENCH_*.json`` lands without a registered
+emitting script.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+OUT_DIR = BENCH_DIR / "out"
+
+# artifact -> the script that emits it (and owns its SCHEMA_VERSION).
+ARTIFACT_SCRIPTS = {
+    "BENCH_stats.json": "bench_stats.py",
+    "BENCH_kronfit.json": "bench_kronfit.py",
+}
+
+
+def script_schema_version(script_name: str) -> int:
+    text = (BENCH_DIR / script_name).read_text(encoding="utf-8")
+    match = re.search(r"^SCHEMA_VERSION\s*=\s*(\d+)\s*$", text, re.MULTILINE)
+    assert match, f"{script_name} must declare a module-level SCHEMA_VERSION"
+    return int(match.group(1))
+
+
+class TestBenchArtifactSchema:
+    def test_every_committed_artifact_has_an_emitting_script(self):
+        committed = {path.name for path in OUT_DIR.glob("BENCH_*.json")}
+        unregistered = committed - set(ARTIFACT_SCRIPTS)
+        assert not unregistered, (
+            f"BENCH artifacts without a registered emitting script: "
+            f"{sorted(unregistered)}; add them to ARTIFACT_SCRIPTS"
+        )
+
+    @pytest.mark.parametrize("artifact", sorted(ARTIFACT_SCRIPTS))
+    def test_registered_artifacts_are_committed(self, artifact):
+        assert (OUT_DIR / artifact).exists(), f"{artifact} is not committed"
+
+    @pytest.mark.parametrize("artifact", sorted(ARTIFACT_SCRIPTS))
+    def test_schema_version_in_sync(self, artifact):
+        script = ARTIFACT_SCRIPTS[artifact]
+        report = json.loads((OUT_DIR / artifact).read_text(encoding="utf-8"))
+        assert report.get("schema_version") == script_schema_version(script), (
+            f"{artifact} was written by an older schema of {script}; "
+            f"regenerate it with `python benchmarks/{script}`"
+        )
+
+    @pytest.mark.parametrize("artifact", sorted(ARTIFACT_SCRIPTS))
+    def test_committed_artifacts_are_full_runs(self, artifact):
+        """Quick/smoke runs write *_quick.json; the committed artifact
+        must be the full matrix."""
+        report = json.loads((OUT_DIR / artifact).read_text(encoding="utf-8"))
+        assert report.get("quick") is False
