@@ -7,22 +7,22 @@ reports the median max-abs parameter distance to the non-private KronMom
 fit.  Utility must improve monotonically-ish with ε and be good at the
 paper's ε = 0.2.
 
-The (ε, seed) and (policy, seed) grids are independent trials, so they
-run through :mod:`repro.runtime` and honour ``REPRO_N_JOBS`` /
-``REPRO_CACHE_DIR``.  Each trial keeps the historical integer noise seed,
-so the reported medians are bit-identical to the serial original.
+The (ε, seed) and (policy, seed) grids are declared as scenarios
+(:func:`repro.scenarios.epsilon_ablation_scenarios`: one scenario per
+(ε, floor-policy) point, one trial per historical integer noise seed)
+and executed by the scenario engine, honouring ``REPRO_N_JOBS`` /
+``REPRO_CACHE_DIR``.  Each trial keeps the historical integer noise
+seed, so the reported medians are bit-identical to the serial original.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.estimator import PrivateKroneckerEstimator
 from repro.core.nonprivate import fit_kronmom
 from repro.evaluation.experiments import default_config
 from repro.graphs.datasets import load_dataset
-from repro.kronecker.initiator import Initiator
-from repro.runtime import TrialSpec, run_trials
+from repro.scenarios import epsilon_ablation_scenarios, run_scenarios
 from repro.utils.tables import TextTable
 
 EPSILONS = (0.05, 0.1, 0.2, 0.5, 1.0, 10.0)
@@ -30,54 +30,29 @@ SEEDS = range(5)
 DELTA = 0.01
 
 
-def _distance_trial(
-    rng,
-    *,
-    dataset: str,
-    epsilon: float,
-    delta: float,
-    triangle_floor: str,
-    reference: tuple,
-) -> float:
-    """Distance of one noisy Algorithm 1 fit to the non-private reference."""
-    graph = load_dataset(dataset)
-    estimate = PrivateKroneckerEstimator(
-        epsilon, delta, triangle_floor=triangle_floor, seed=rng
-    ).fit(graph)
-    return float(estimate.initiator.distance(Initiator(*reference)))
-
-
 def _median_distances(grid, dataset, reference, *, config):
-    """Median trial distance per grid point; trials fan through the engine."""
-    specs = [
-        TrialSpec(
-            fn=_distance_trial,
-            params={
-                "dataset": dataset,
-                "epsilon": epsilon,
-                "delta": DELTA,
-                "triangle_floor": triangle_floor,
-                "reference": tuple(reference),
-            },
-            index=index,
-            seed=seed,
-        )
-        for index, (epsilon, triangle_floor, seed) in enumerate(grid)
-    ]
-    report = run_trials(
-        specs,
+    """Median trial distance per grid point; one scenario per point."""
+    scenarios = epsilon_ablation_scenarios(
+        dataset,
+        grid,
+        tuple(SEEDS),
+        delta=DELTA,
+        reference=(reference.a, reference.b, reference.c),
+    )
+    reports = run_scenarios(
+        scenarios,
         n_jobs=config.n_jobs,
         cache=config.trial_cache,
         label=f"ablation_epsilon:{dataset}",
     )
-    distances: dict = {}
-    for (epsilon, triangle_floor, _seed), value in zip(grid, report.results):
-        distances.setdefault((epsilon, triangle_floor), []).append(value)
-    return {key: float(np.median(values)) for key, values in distances.items()}
+    return {
+        point: float(np.median(report.results))
+        for point, report in zip(grid, reports)
+    }
 
 
 def _sweep(reference, config):
-    grid = [(epsilon, "noise_scale", seed) for epsilon in EPSILONS for seed in SEEDS]
+    grid = [(epsilon, "noise_scale") for epsilon in EPSILONS]
     by_point = _median_distances(grid, "ca-grqc", reference, config=config)
     return {epsilon: by_point[(epsilon, "noise_scale")] for epsilon in EPSILONS}
 
@@ -105,7 +80,7 @@ def test_epsilon_sweep(benchmark, emit):
     synthetic = load_dataset("synthetic-kronecker")
     synthetic_reference = fit_kronmom(synthetic).initiator
     policies = ("noise_scale", "one", "none")
-    grid = [(0.2, policy, seed) for policy in policies for seed in SEEDS]
+    grid = [(0.2, policy) for policy in policies]
     by_point = _median_distances(
         grid, "synthetic-kronecker", synthetic_reference, config=config
     )

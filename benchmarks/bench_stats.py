@@ -59,7 +59,8 @@ from repro.graphs.datasets import load_dataset
 from repro.graphs.graph import Graph
 from repro.kronecker.initiator import Initiator
 from repro.kronecker.sampling import sample_skg
-from repro.stats import _fused, kernels
+from repro.native import counting as native_counting
+from repro.stats import kernels
 from repro.stats.clustering import local_clustering
 from repro.stats.counts import count_triangles, max_common_neighbors
 from repro.stats.kernels import available_kernel_backends, stats_context, triangle_pass
@@ -145,11 +146,11 @@ def bench_backends(graph: Graph, repeats: int) -> dict:
     """
     scipy_result = triangle_pass(graph, None, "scipy")
     records: dict[str, dict] = {}
-    for backend in ("scipy",) + _fused.FUSED_BACKENDS:
-        if backend != "scipy" and not _fused.backend_available(backend):
+    for backend in ("scipy",) + native_counting.FUSED_BACKENDS:
+        if backend != "scipy" and not native_counting.backend_available(backend):
             records[backend] = {
                 "available": False,
-                "reason": _fused.backend_error(backend),
+                "reason": native_counting.backend_error(backend),
             }
             continue
         result = triangle_pass(graph, None, backend)

@@ -30,6 +30,21 @@ Subcommands::
         value); ``--cache-dir`` memoizes completed trials so a rerun is
         resumable and executes only what is missing.
 
+    python -m repro run-scenario [--preset NAME | --datasets D1,D2
+                              --estimators E1,E2] [--epsilon E --delta D]
+                              [--count N] [--n-starts S] [--n-jobs J]
+                              [--cache-dir DIR] [--out FILE] [--list]
+        Run a declarative scenario grid (repro.scenarios).  ``--preset``
+        executes a registered scenario list by name (``--list`` shows
+        them); otherwise ``--datasets`` × ``--estimators`` (kronfit,
+        kronmom, private, dpdegree) × the budget forms an ad-hoc grid:
+        each cell fits the estimator ``--count`` times and measures the
+        matching statistics of one synthetic realization per fit.
+        ``--n-starts`` selects multi-start KronFit (S chains per fit,
+        best final log-likelihood wins).  Scenario trials run through
+        the parallel trial engine: bit-identical for any ``--n-jobs``,
+        memoized under ``--cache-dir``.
+
 ``GRAPH`` is either a registered dataset name (see ``datasets``) or a path
 to a SNAP-format edge list (optionally gzipped).
 
@@ -56,7 +71,7 @@ import os
 import sys
 from pathlib import Path
 
-from repro.errors import DatasetError, ReproError
+from repro.errors import DatasetError, ReproError, ValidationError
 from repro.graphs import Graph, load_dataset, read_edge_list, write_edge_list
 from repro.graphs.datasets import available_datasets, dataset_info
 from repro.core.estimator import PrivateKroneckerEstimator
@@ -176,6 +191,76 @@ def build_parser() -> argparse.ArgumentParser:
     ensemble_parser.add_argument("--seed", type=int, default=0)
     ensemble_parser.add_argument(
         "--out", default=None, help="write the per-trial statistics as JSON"
+    )
+
+    scenario_parser = commands.add_parser(
+        "run-scenario",
+        help="run a declarative scenario grid through the trial engine",
+    )
+    scenario_parser.add_argument(
+        "--preset",
+        default=None,
+        help="registered scenario preset to run (see --list)",
+    )
+    scenario_parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_presets",
+        help="list registered presets and estimator methods, then exit",
+    )
+    scenario_parser.add_argument(
+        "--datasets",
+        default=None,
+        help="comma-separated dataset names forming the workload axis",
+    )
+    scenario_parser.add_argument(
+        "--estimators",
+        default=None,
+        help=(
+            "comma-separated estimator axis values: "
+            "kronfit, kronmom, private, dpdegree"
+        ),
+    )
+    scenario_parser.add_argument(
+        "--epsilon", type=float, default=None, help="privacy budget axis value"
+    )
+    scenario_parser.add_argument(
+        "--delta", type=float, default=None, help="privacy parameter delta"
+    )
+    scenario_parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="trials per scenario (default: REPRO_REALIZATIONS)",
+    )
+    scenario_parser.add_argument(
+        "--n-starts",
+        type=int,
+        default=None,
+        dest="n_starts",
+        help=(
+            "KronFit chains per fit; best final log-likelihood wins "
+            "(default: REPRO_N_STARTS, i.e. 1)"
+        ),
+    )
+    scenario_parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        dest="n_jobs",
+        help="worker processes (default: REPRO_N_JOBS or 1; 0 = all cores)",
+    )
+    scenario_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="memoize completed trials in this directory",
+    )
+    scenario_parser.add_argument(
+        "--seed", type=int, default=None, help="root seed (default: REPRO_SEED)"
+    )
+    scenario_parser.add_argument(
+        "--out", default=None, help="write the scenario report here"
     )
 
     figure_parser = commands.add_parser(
@@ -409,6 +494,117 @@ def _cmd_run_ensemble(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_scenario(arguments: argparse.Namespace) -> int:
+    # Imported lazily: the scenario layer pulls in the evaluation stack.
+    import dataclasses
+
+    from repro.evaluation.experiments import default_config
+    from repro.scenarios import (
+        available_estimator_axis_values,
+        available_scenarios,
+        build_scenarios,
+        render_scenario_reports,
+        run_scenarios,
+        scenario_grid,
+    )
+
+    if arguments.list_presets:
+        print("registered scenario presets: " + ", ".join(available_scenarios()))
+        print(
+            "estimator axis values: "
+            + ", ".join(name.lower() for name in available_estimator_axis_values())
+        )
+        return 0
+
+    config = default_config()
+    overrides = {}
+    if arguments.epsilon is not None:
+        overrides["epsilon"] = arguments.epsilon
+    if arguments.delta is not None:
+        overrides["delta"] = arguments.delta
+    if arguments.seed is not None:
+        overrides["seed"] = arguments.seed
+    if arguments.n_starts is not None:
+        overrides["n_starts"] = check_integer(
+            arguments.n_starts, "n_starts", minimum=1
+        )
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    if arguments.preset is not None:
+        if arguments.datasets or arguments.estimators or arguments.count is not None:
+            raise ValidationError(
+                "--preset and the grid flags (--datasets/--estimators/--count) "
+                "are mutually exclusive; presets declare their own cells"
+            )
+        scenarios = build_scenarios(arguments.preset, config)
+        title = f"Scenario report — preset {arguments.preset!r}"
+    else:
+        if not arguments.datasets or not arguments.estimators:
+            raise ValidationError(
+                "run-scenario needs either --preset NAME or both "
+                "--datasets and --estimators (see --list)"
+            )
+        datasets = tuple(
+            token.strip() for token in arguments.datasets.split(",") if token.strip()
+        )
+        methods = tuple(
+            _resolve_estimator_axis(token.strip())
+            for token in arguments.estimators.split(",")
+            if token.strip()
+        )
+        count = arguments.count
+        if count is not None:
+            check_integer(count, "count", minimum=1)
+        scenarios = scenario_grid(
+            config,
+            workloads=datasets,
+            methods=methods,
+            ensemble_size=count,
+        )
+        title = (
+            f"Scenario report — {len(datasets)} workload(s) x "
+            f"{len(methods)} estimator(s), seed={config.seed}"
+        )
+
+    reports = run_scenarios(
+        scenarios,
+        n_jobs=arguments.n_jobs,
+        # The flag wins; otherwise honour REPRO_CACHE_DIR like the rest
+        # of the evaluation harness.
+        cache=arguments.cache_dir or config.trial_cache,
+    )
+    text = render_scenario_reports(reports, title=title)
+    executed = sum(report.report.executed for report in reports)
+    cached = sum(report.report.cached for report in reports)
+    footer = (
+        f"{len(reports)} scenario(s), {executed} trial(s) executed, "
+        f"{cached} from cache"
+    )
+    print(text)
+    print(footer)
+    if arguments.out:
+        path = Path(arguments.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n" + footer + "\n", encoding="utf-8")
+        print(f"scenario report written to {path}")
+    return 0
+
+
+def _resolve_estimator_axis(token: str) -> str:
+    """Map a CLI estimator token (case-insensitive) to its registry name."""
+    from repro.scenarios import available_estimator_axis_values
+
+    by_lower = {name.lower(): name for name in available_estimator_axis_values()}
+    try:
+        return by_lower[token.lower()]
+    except KeyError:
+        raise ValidationError(
+            f"unknown estimator {token!r}; choose from "
+            f"{', '.join(sorted(by_lower))}"
+        ) from None
+
+
 def _cmd_figure(arguments: argparse.Namespace) -> int:
     # Imported lazily: the evaluation harness pulls in the whole stack.
     from repro.evaluation.figures import run_figure
@@ -446,6 +642,7 @@ _HANDLERS = {
     "release": _cmd_release,
     "sample": _cmd_sample,
     "run-ensemble": _cmd_run_ensemble,
+    "run-scenario": _cmd_run_scenario,
     "figure": _cmd_figure,
     "table1": _cmd_table1,
 }

@@ -6,6 +6,9 @@
   privacy ledger + sampling),
 * :mod:`repro.core.nonprivate` — uniform wrappers over the KronMom and
   KronFit baselines so experiments can swap estimators,
+* :mod:`repro.core.protocols` — the :class:`Estimator` / ``FittedModel``
+  protocol and the method registry the scenario grid draws its estimator
+  axis from,
 * :mod:`repro.core.synthesis` — synthetic-graph ensembles from an estimate.
 """
 
@@ -17,6 +20,17 @@ from repro.core.nonprivate import (
     fit_kronfit,
     fit_private,
 )
+from repro.core.protocols import (
+    ESTIMATOR_METHODS,
+    Estimator,
+    EstimatorMethod,
+    FittedModel,
+    FixedInitiatorEstimator,
+    FixedInitiatorModel,
+    available_estimator_methods,
+    build_estimator,
+    estimator_method,
+)
 from repro.core.synthesis import sample_ensemble, ensemble_matching_statistics
 from repro.core.baseline import DPDegreeSequenceSynthesizer, DegreeSequenceModel
 
@@ -27,6 +41,15 @@ __all__ = [
     "fit_kronmom",
     "fit_kronfit",
     "fit_private",
+    "Estimator",
+    "FittedModel",
+    "EstimatorMethod",
+    "ESTIMATOR_METHODS",
+    "estimator_method",
+    "available_estimator_methods",
+    "build_estimator",
+    "FixedInitiatorEstimator",
+    "FixedInitiatorModel",
     "sample_ensemble",
     "ensemble_matching_statistics",
     "DPDegreeSequenceSynthesizer",

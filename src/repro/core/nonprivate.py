@@ -8,6 +8,7 @@ the evaluation harness consumes, and the ``fit_*`` helpers produce it.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -42,6 +43,18 @@ class EstimatorResult:
     initiator: Initiator
     k: int
     details: Any
+
+    @property
+    def epsilon(self) -> float:
+        """Privacy budget the fit consumed (inf for non-private baselines).
+
+        Makes every estimator result satisfy the
+        :class:`repro.core.protocols.FittedModel` protocol, so the
+        scenario grid can treat private and non-private methods as
+        interchangeable axis values.
+        """
+        consumed = getattr(self.details, "epsilon", None)
+        return float(consumed) if consumed is not None else math.inf
 
     def sample_graph(self, seed: SeedLike = None) -> Graph:
         """One synthetic graph from the fitted model."""

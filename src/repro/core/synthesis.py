@@ -28,11 +28,38 @@ def sample_ensemble(initiator, k: int, count: int, seed: SeedLike = None) -> lis
     return [sample_skg(theta, k, seed=rng) for rng in spawn_generators(seed, count)]
 
 
-def ensemble_matching_statistics(graphs: list[Graph]) -> MatchingStatistics:
-    """Mean {E, H, T, Δ} over an ensemble (Monte-Carlo expected statistics)."""
+def _graph_statistics_trial(
+    rng: np.random.Generator, *, graph: Graph
+) -> MatchingStatistics:
+    """Count one ensemble member (deterministic; ``rng`` is unused)."""
+    return matching_statistics(graph)
+
+
+def ensemble_matching_statistics(
+    graphs: list[Graph], *, n_jobs: int | None = None
+) -> MatchingStatistics:
+    """Mean {E, H, T, Δ} over an ensemble (Monte-Carlo expected statistics).
+
+    The per-graph counting passes are independent, so they run through
+    :func:`repro.runtime.run_trials`: ``n_jobs`` (default: the
+    ``REPRO_N_JOBS`` knob) fans them across the persistent worker pool,
+    and — the counts being deterministic — the means are bit-identical
+    for any worker count.
+    """
     if not graphs:
         raise ValueError("ensemble must contain at least one graph")
-    rows = np.array([tuple(matching_statistics(g)) for g in graphs], dtype=np.float64)
+    from repro.runtime import TrialSpec, run_trials
+
+    report = run_trials(
+        [
+            TrialSpec(fn=_graph_statistics_trial, params={"graph": graph}, index=index)
+            for index, graph in enumerate(graphs)
+        ],
+        seed=0,
+        n_jobs=n_jobs,
+        label="ensemble-statistics",
+    )
+    rows = np.array([tuple(stats) for stats in report.results], dtype=np.float64)
     means = rows.mean(axis=0)
     return MatchingStatistics(
         edges=float(means[0]),

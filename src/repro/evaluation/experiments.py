@@ -8,6 +8,9 @@ a fast default run and a paper-faithful run use the same code paths:
 * ``REPRO_HOP_SOURCES`` — BFS sources for sampled hop plots (0 = exact),
 * ``REPRO_KRONFIT_ITERATIONS`` — gradient iterations for the KronFit
   baseline,
+* ``REPRO_N_STARTS`` — independent Metropolis chains per KronFit fit
+  (multi-start: best final log-likelihood wins, deterministic tie-break;
+  default 1 = the historical single chain, bit-identical),
 * ``REPRO_EPSILON`` / ``REPRO_DELTA`` — the privacy budget of the private
   estimator,
 * ``REPRO_SEED`` — root seed every harness derives its streams from.
@@ -80,6 +83,7 @@ class ExperimentConfig:
     hop_sources: int = 512
     svd_rank: int = 50
     kronfit_iterations: int = 30
+    n_starts: int = 1  # KronFit chains per fit; best log-likelihood wins
     seed: int = 20120330  # the PAIS'12 workshop date
     n_jobs: int = 1  # trial-engine workers; 0 or negative = all cores
     cache_dir: str = ""  # trial-cache directory; empty = caching disabled
@@ -133,6 +137,7 @@ def default_config() -> ExperimentConfig:
         hop_sources=_env_int("REPRO_HOP_SOURCES", base.hop_sources),
         svd_rank=_env_int("REPRO_SVD_RANK", base.svd_rank),
         kronfit_iterations=_env_int("REPRO_KRONFIT_ITERATIONS", base.kronfit_iterations),
+        n_starts=_env_int("REPRO_N_STARTS", base.n_starts),
         seed=_env_int("REPRO_SEED", base.seed),
         n_jobs=_env_int("REPRO_N_JOBS", base.n_jobs),
         cache_dir=os.environ.get("REPRO_CACHE_DIR", base.cache_dir),

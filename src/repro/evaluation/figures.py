@@ -9,10 +9,13 @@ three estimators (KronFit / KronMom / Private), for five statistics:
 clustering coefficient by degree.
 
 Figure 1 additionally overlays "Expected" curves: the statistic averaged
-over an ensemble of realizations (the paper uses 100).  The ensembles run
-through :mod:`repro.runtime` — ``config.n_jobs`` fans the realizations
-across worker processes and ``config.cache_dir`` memoizes completed
-trials, with results bit-identical for any worker count.
+over an ensemble of realizations (the paper uses 100).  Each ensemble is
+declared as a pure-sampling scenario
+(:func:`repro.scenarios.expected_ensemble_scenario`: a ``Fixed``
+initiator estimator with the ``graph_statistics`` measurement) and
+executed by the scenario engine — ``config.n_jobs`` fans the
+realizations across worker processes and ``config.cache_dir`` memoizes
+completed trials, with results bit-identical for any worker count.
 
 Within one graph the five statistics share the graph's
 :class:`~repro.stats.kernels.StatsContext`: the clustering series reuses
@@ -36,9 +39,7 @@ from repro.core.nonprivate import (
     fit_private,
 )
 from repro.evaluation.experiments import FIGURE_DATASETS, ExperimentConfig, default_config
-from repro.kronecker.initiator import Initiator
-from repro.kronecker.sampling import sample_skg
-from repro.runtime import TrialSpec, run_trials
+from repro.scenarios import expected_ensemble_scenario, run_scenario
 from repro.stats.clustering import clustering_by_degree
 from repro.stats.degrees import degree_distribution
 from repro.stats.hopplot import hop_plot
@@ -262,28 +263,18 @@ def run_figure(
         for method_index, (method, estimate) in enumerate(estimates.items()):
             label = f"Expected {method}"
             theta = estimate.initiator
-            specs = [
-                TrialSpec(
-                    fn=_expected_statistics_trial,
-                    params={
-                        "a": theta.a,
-                        "b": theta.b,
-                        "c": theta.c,
-                        "k": estimate.k,
-                        "label": label,
-                        "hop_sources": config.hop_sources or None,
-                        "svd_rank": config.svd_rank,
-                    },
-                    index=trial,
-                )
-                for trial in range(config.realizations)
-            ]
-            report = run_trials(
-                specs,
-                seed=np.random.SeedSequence([config.seed, figure_number, method_index]),
-                n_jobs=config.n_jobs,
-                cache=config.trial_cache,
-                label=f"figure{figure_number}:{label}",
+            scenario = expected_ensemble_scenario(
+                name=f"figure{figure_number}:{label}",
+                label=label,
+                initiator=(theta.a, theta.b, theta.c),
+                k=estimate.k,
+                realizations=config.realizations,
+                entropy=(config.seed, figure_number, method_index),
+                hop_sources=config.hop_sources or None,
+                svd_rank=config.svd_rank,
+            )
+            report = run_scenario(
+                scenario, n_jobs=config.n_jobs, cache=config.trial_cache
             )
             statistics[label] = average_statistics(report.results, label)
     return FigureResult(
@@ -291,28 +282,6 @@ def run_figure(
         dataset=dataset,
         estimates=estimates,
         statistics=statistics,
-    )
-
-
-def _expected_statistics_trial(
-    rng: np.random.Generator,
-    *,
-    a: float,
-    b: float,
-    c: float,
-    k: int,
-    label: str,
-    hop_sources: int | None,
-    svd_rank: int,
-) -> GraphStatistics:
-    """One "Expected" realization: sample Θ^{⊗k} and compute its statistics.
-
-    Module-level (and parameterised by plain scalars) so the runtime engine
-    can ship it to worker processes and cache it by value.
-    """
-    graph = sample_skg(Initiator(a, b, c), k, seed=rng)
-    return compute_graph_statistics(
-        graph, label, hop_sources=hop_sources, svd_rank=svd_rank, seed=rng
     )
 
 
@@ -327,7 +296,10 @@ def _fit_methods(
     for method in methods:
         if method == "KronFit":
             results[method] = fit_kronfit(
-                graph, n_iterations=config.kronfit_iterations, seed=rng
+                graph,
+                n_iterations=config.kronfit_iterations,
+                n_starts=config.n_starts,
+                seed=rng,
             )
         elif method == "KronMom":
             results[method] = fit_kronmom(graph)

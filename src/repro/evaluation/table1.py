@@ -6,24 +6,27 @@ The paper's Table 1 lists, for each of the four experiment graphs, the
 :func:`render_table1` prints them in the paper's layout, adding the true
 initiator row for the synthetic graph where recovery can be judged
 against ground truth.
+
+The grid itself is declared in :func:`repro.scenarios.table1_scenarios`
+(one single-fit scenario per (dataset, method) cell, historical fixed
+seeds); this module is a thin consumer that executes the scenarios and
+shapes the results into rows.  Multi-start KronFit enters through
+``config.n_starts`` — with the default of 1 the table is bit-identical
+to the pre-scenario harness for any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.graphs.datasets import load_dataset
-from repro.core.nonprivate import fit_kronfit, fit_kronmom, fit_private
+from repro.errors import ValidationError
 from repro.evaluation.experiments import ExperimentConfig, default_config
 from repro.kronecker.initiator import Initiator
-from repro.runtime import TrialSpec, run_trials
+from repro.scenarios import run_scenarios, table1_scenarios
+from repro.scenarios.presets import TABLE1_DATASETS, TABLE1_METHODS
 from repro.utils.tables import TextTable
 
 __all__ = ["Table1Row", "run_table1", "render_table1", "TABLE1_DATASETS"]
-
-TABLE1_DATASETS = ("ca-grqc", "ca-hepth", "as20", "synthetic-kronecker")
 
 # Ground truth for the synthetic row (the paper's generator initiator).
 SYNTHETIC_TRUTH = Initiator(0.99, 0.45, 0.25)
@@ -42,89 +45,34 @@ def run_table1(
     *,
     config: ExperimentConfig | None = None,
     datasets: tuple[str, ...] = TABLE1_DATASETS,
-    methods: tuple[str, ...] = ("KronFit", "KronMom", "Private"),
+    methods: tuple[str, ...] = TABLE1_METHODS,
 ) -> list[Table1Row]:
     """Fit every (dataset, method) pair of Table 1.
 
-    The twelve fits are independent, so they run through
-    :mod:`repro.runtime` honouring ``config.n_jobs`` / ``config.cache_dir``.
-    Each trial keeps the historical per-(dataset, method) seed (the
-    spawned children of ``config.seed + 100 + dataset_index``), so the
-    table is bit-identical to the serial original for any worker count.
+    The fits are independent scenarios, so they run through
+    :mod:`repro.runtime` honouring ``config.n_jobs`` / ``config.cache_dir``
+    and reusing the persistent worker pool across cells.  Each cell keeps
+    the historical per-(dataset, method) seed, so the table is
+    bit-identical to the serial original for any worker count.
     """
     config = config or default_config()
-    unknown = [method for method in methods if method not in _TABLE1_METHODS]
+    unknown = [method for method in methods if method not in TABLE1_METHODS]
     if unknown:
-        raise ValueError(f"unknown method {unknown[0]!r}")
-    specs: list[TrialSpec] = []
-    for dataset_index, dataset in enumerate(datasets):
-        seeds = np.random.SeedSequence(config.seed + 100 + dataset_index).spawn(
-            len(methods)
-        )
-        for method, seed in zip(methods, seeds):
-            specs.append(
-                TrialSpec(
-                    fn=_table1_trial,
-                    params={
-                        "dataset": dataset,
-                        "method": method,
-                        "epsilon": config.epsilon,
-                        "delta": config.delta,
-                        "kronfit_iterations": config.kronfit_iterations,
-                        "kernel_backend": config.kernel_backend,
-                    },
-                    index=len(specs),
-                    seed=seed,
-                )
-            )
-    report = run_trials(
-        specs, n_jobs=config.n_jobs, cache=config.trial_cache, label="table1"
+        # ValidationError subclasses ValueError *and* ReproError, so the
+        # CLI renders "error: ..." instead of a traceback.
+        raise ValidationError(f"unknown method {unknown[0]!r}")
+    scenarios = table1_scenarios(config, datasets=datasets, methods=methods)
+    reports = run_scenarios(
+        scenarios, n_jobs=config.n_jobs, cache=config.trial_cache
     )
     return [
         Table1Row(
-            dataset=spec.params["dataset"],
-            method=spec.params["method"],
-            initiator=initiator,
+            dataset=report.scenario.workload,
+            method=report.scenario.estimator.method,
+            initiator=report.results[0],
         )
-        for spec, initiator in zip(specs, report.results)
+        for report in reports
     ]
-
-
-_TABLE1_METHODS = ("KronFit", "KronMom", "Private")
-
-
-def _table1_trial(
-    rng: np.random.Generator,
-    *,
-    dataset: str,
-    method: str,
-    epsilon: float,
-    delta: float,
-    kronfit_iterations: int,
-    kernel_backend: str = "auto",
-) -> Initiator:
-    """One Table 1 cell group: load the dataset and fit one estimator.
-
-    ``kernel_backend`` selects the Metropolis-chain engine of the KronFit
-    baseline (results are bit-identical for every engine; the parameter
-    exists so the configured backend is part of the trial's cache key and
-    fails loudly inside the worker if unavailable there).
-    """
-    graph = load_dataset(dataset)
-    if method == "KronFit":
-        result = fit_kronfit(
-            graph,
-            n_iterations=kronfit_iterations,
-            seed=rng,
-            backend=kernel_backend,
-        )
-    elif method == "KronMom":
-        result = fit_kronmom(graph)
-    elif method == "Private":
-        result = fit_private(graph, epsilon=epsilon, delta=delta, seed=rng)
-    else:
-        raise ValueError(f"unknown method {method!r}")
-    return result.initiator
 
 
 def render_table1(rows: list[Table1Row], *, config: ExperimentConfig | None = None) -> str:

@@ -36,7 +36,12 @@ from repro.kronecker.kronmom import (
     DISTANCES,
     NORMALIZATIONS,
 )
-from repro.kronecker.kronfit import KronFitEstimator, KronFitResult
+from repro.kronecker.kronfit import (
+    KronFitEstimator,
+    KronFitResult,
+    perturbed_initial_sigma,
+    select_best_start,
+)
 
 __all__ = [
     "Initiator",
@@ -57,4 +62,6 @@ __all__ = [
     "NORMALIZATIONS",
     "KronFitEstimator",
     "KronFitResult",
+    "perturbed_initial_sigma",
+    "select_best_start",
 ]

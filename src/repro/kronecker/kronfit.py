@@ -8,11 +8,23 @@ The public interface mirrors the other estimators: construct with
 hyper-parameters, call :meth:`fit` with a graph, receive a
 :class:`KronFitResult` carrying the fitted :class:`Initiator` and
 convergence diagnostics.
+
+**Multi-start fitting.**  The Metropolis chain mixes from its initial
+correspondence, so a single run can settle on a local mode.  With
+``n_starts=S > 1`` the estimator runs S independent chains — start 0 from
+the degree-matched σ every single-start fit uses, starts 1..S−1 from
+deterministic perturbations of it — and keeps the fit with the best final
+log-likelihood (ties broken by the lowest start index, so the winner is
+deterministic).  The starts are independent trials, so they fan across
+the :mod:`repro.runtime` worker pool (``n_jobs``), with per-start RNG
+streams spawned by trial index: the winner is **bit-identical for any
+worker count and pool mode**, and ``n_starts=1`` is bit-identical to the
+historical single-chain fit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -20,17 +32,30 @@ from repro.errors import EstimationError
 from repro.graphs.graph import Graph
 from repro.graphs.operations import pad_to_power_of_two
 from repro.kronecker.initiator import Initiator, as_initiator
-from repro.kronecker.likelihood import PermutationSampler, ProfileLikelihood
+from repro.kronecker.likelihood import (
+    PermutationSampler,
+    ProfileLikelihood,
+    degree_matched_initial_sigma,
+)
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer, check_positive
 
-__all__ = ["KronFitEstimator", "KronFitResult"]
+__all__ = [
+    "KronFitEstimator",
+    "KronFitResult",
+    "perturbed_initial_sigma",
+    "select_best_start",
+]
 
 _logger = get_logger(__name__)
 
 _PARAM_LOW = 0.001
 _PARAM_HIGH = 0.999
+
+# Entropy word of the deterministic per-start σ perturbation streams.
+# Fixed forever: changing it changes every multi-start trajectory.
+_START_SIGMA_KEY = 0x5163_F17  # "SIG FIT"
 
 
 @dataclass(frozen=True)
@@ -49,6 +74,13 @@ class KronFitResult:
         Fraction of accepted Metropolis proposals over the whole run.
     trajectory:
         Parameter triple after each gradient iteration.
+    n_starts:
+        How many independent chains competed for this result.
+    start:
+        Index of the winning start (0 = the degree-matched σ).
+    start_log_likelihoods:
+        Final log-likelihood of every start, in start order (empty for
+        single-start fits).
     """
 
     initiator: Initiator
@@ -56,6 +88,9 @@ class KronFitResult:
     log_likelihoods: tuple[float, ...]
     acceptance_rate: float
     trajectory: tuple[tuple[float, float, float], ...] = field(repr=False)
+    n_starts: int = 1
+    start: int = 0
+    start_log_likelihoods: tuple[float, ...] = ()
 
 
 class KronFitEstimator:
@@ -84,6 +119,17 @@ class KronFitEstimator:
         ``numpy`` | ``numba`` | ``cext``; default: the
         ``REPRO_KERNEL_BACKEND`` knob, else ``auto``).  Results are
         bit-identical for every engine — the knob only selects speed.
+    n_starts:
+        Independent Metropolis chains per fit; the best final
+        log-likelihood wins (deterministic tie-break by start index).
+        ``1`` (the default) is bit-identical to the historical
+        single-chain fit.
+    n_jobs:
+        Worker processes the starts fan across (via
+        :func:`repro.runtime.run_trials`).  ``None`` runs the starts
+        serially in-process — deliberately *not* the ``REPRO_N_JOBS``
+        default, so fits nested inside scenario trials never fork a pool
+        inside a pool worker.  Results are bit-identical for any value.
 
     Examples
     --------
@@ -105,6 +151,8 @@ class KronFitEstimator:
         initial: Initiator | tuple[float, float, float] = (0.9, 0.6, 0.2),
         seed: SeedLike = None,
         backend: str | None = None,
+        n_starts: int = 1,
+        n_jobs: int | None = None,
     ) -> None:
         self.n_iterations = check_integer(n_iterations, "n_iterations", minimum=1)
         self.warmup_swaps = check_integer(warmup_swaps, "warmup_swaps", minimum=0)
@@ -116,15 +164,82 @@ class KronFitEstimator:
         self.initial = as_initiator(initial)
         self.seed = seed
         self.backend = backend
+        self.n_starts = check_integer(n_starts, "n_starts", minimum=1)
+        self.n_jobs = (
+            None if n_jobs is None else check_integer(n_jobs, "n_jobs", minimum=1)
+        )
 
     def fit(self, graph: Graph) -> KronFitResult:
         """Fit the initiator to ``graph`` (padded to 2^k nodes internally)."""
         if graph.n_edges == 0:
             raise EstimationError("cannot fit KronFit to a graph with no edges")
-        rng = as_generator(self.seed)
+        if self.n_starts == 1:
+            rng = as_generator(self.seed)
+            padded, k = pad_to_power_of_two(graph)
+            return self._fit_chain(padded, k, rng, sigma=None)
+        return self._fit_multi_start(graph)
+
+    def _fit_multi_start(self, graph: Graph) -> KronFitResult:
+        """Fan ``n_starts`` chains across the trial engine; best LL wins."""
+        from repro.runtime import TrialSpec, run_trials
+
         padded, k = pad_to_power_of_two(graph)
+        chain_params = {
+            "n_iterations": self.n_iterations,
+            "warmup_swaps": self.warmup_swaps,
+            "n_permutation_samples": self.n_permutation_samples,
+            "sample_spacing": self.sample_spacing,
+            "learning_rate": self.learning_rate,
+            "initial": (self.initial.a, self.initial.b, self.initial.c),
+            "backend": self.backend,
+        }
+        specs = [
+            TrialSpec(
+                fn=_kronfit_start_trial,
+                params={"graph": padded, "k": k, "start": start, **chain_params},
+                index=start,
+            )
+            for start in range(self.n_starts)
+        ]
+        report = run_trials(
+            specs,
+            seed=self.seed,
+            n_jobs=self.n_jobs if self.n_jobs is not None else 1,
+            label=f"kronfit:{self.n_starts}-starts",
+        )
+        winner = select_best_start(report.results)
+        result = report.results[winner]
+        _logger.debug(
+            "kronfit multi-start: start %d of %d wins with loglik=%.2f",
+            winner,
+            self.n_starts,
+            result.log_likelihoods[-1],
+        )
+        return replace(
+            result,
+            n_starts=self.n_starts,
+            start=winner,
+            start_log_likelihoods=tuple(
+                r.log_likelihoods[-1] for r in report.results
+            ),
+        )
+
+    def _fit_chain(
+        self,
+        padded: Graph,
+        k: int,
+        rng: np.random.Generator,
+        sigma: np.ndarray | None,
+    ) -> KronFitResult:
+        """One gradient-ascent run over one Metropolis chain.
+
+        ``sigma=None`` starts from the degree-matched correspondence —
+        exactly the historical single-start fit.
+        """
         theta = _clip(self.initial)
-        sampler = PermutationSampler(padded, k, theta, backend=self.backend)
+        sampler = PermutationSampler(
+            padded, k, theta, sigma=sigma, backend=self.backend
+        )
         log_likelihoods: list[float] = []
         trajectory: list[tuple[float, float, float]] = []
         for iteration in range(self.n_iterations):
@@ -168,6 +283,78 @@ class KronFitEstimator:
             acceptance_rate=float(acceptance),
             trajectory=tuple(trajectory),
         )
+
+
+def perturbed_initial_sigma(graph: Graph, k: int, start: int) -> np.ndarray:
+    """Initial correspondence of multi-start chain ``start``.
+
+    Start 0 is the degree-matched σ every single-start fit uses; start
+    ``s > 0`` reshuffles the assignments of a quarter of the nodes with a
+    dedicated deterministic stream keyed by ``s`` alone — independent of
+    worker count, pool mode, and the chain's own RNG — so every engine
+    and schedule sees the same S starting points.
+    """
+    sigma = degree_matched_initial_sigma(graph, k)
+    start = check_integer(start, "start", minimum=0)
+    if start == 0 or graph.n_nodes < 2:
+        return sigma
+    rng = np.random.default_rng(np.random.SeedSequence([_START_SIGMA_KEY, start]))
+    n = graph.n_nodes
+    shuffled = rng.choice(n, size=max(2, n // 4), replace=False)
+    sigma[shuffled] = sigma[shuffled[rng.permutation(shuffled.size)]]
+    return sigma
+
+
+def select_best_start(results: list[KronFitResult]) -> int:
+    """Index of the winning start: best final log-likelihood.
+
+    Strict improvement is required to displace an earlier start, so ties
+    (including NaN-free exact equality from converged duplicate chains)
+    deterministically resolve to the lowest start index.
+    """
+    if not results:
+        raise EstimationError("multi-start selection needs at least one result")
+    best = 0
+    best_value = results[0].log_likelihoods[-1]
+    for index, result in enumerate(results[1:], start=1):
+        value = result.log_likelihoods[-1]
+        if value > best_value:
+            best = index
+            best_value = value
+    return best
+
+
+def _kronfit_start_trial(
+    rng: np.random.Generator,
+    *,
+    graph: Graph,
+    k: int,
+    start: int,
+    n_iterations: int,
+    warmup_swaps: int,
+    n_permutation_samples: int,
+    sample_spacing: int,
+    learning_rate: float,
+    initial: tuple[float, float, float],
+    backend: str | None,
+) -> KronFitResult:
+    """One multi-start chain (module-level so the engine can ship it).
+
+    ``graph`` is already padded to ``2^k`` nodes; ``rng`` is the
+    engine-derived per-start stream, and the starting σ depends only on
+    ``start``.
+    """
+    estimator = KronFitEstimator(
+        n_iterations=n_iterations,
+        warmup_swaps=warmup_swaps,
+        n_permutation_samples=n_permutation_samples,
+        sample_spacing=sample_spacing,
+        learning_rate=learning_rate,
+        initial=initial,
+        backend=backend,
+    )
+    sigma = perturbed_initial_sigma(graph, k, start)
+    return estimator._fit_chain(graph, k, rng, sigma=sigma)
 
 
 def _clip(theta: Initiator) -> Initiator:

@@ -264,12 +264,16 @@ def run_trials(
         "%s: completed %d trials in %.2fs (%d executed, %d cached)",
         label, len(specs), elapsed, len(pending), cached,
     )
+    pending_set = set(pending)
     return TrialRunReport(
         results=results,
         executed=len(pending),
         cached=cached,
         n_jobs=n_jobs,
         elapsed=elapsed,
+        cached_indices=tuple(
+            position for position in range(len(specs)) if position not in pending_set
+        ),
     )
 
 

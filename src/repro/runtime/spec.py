@@ -70,6 +70,10 @@ class TrialRunReport:
         The resolved worker count the run used.
     elapsed:
         Wall-clock seconds for the whole batch, including cache probes.
+    cached_indices:
+        Positions (in spec order) that were served from the cache —
+        lets batching callers (e.g. :mod:`repro.scenarios`) attribute
+        the executed/cached split to their own sub-ranges.
     """
 
     results: list
@@ -77,3 +81,4 @@ class TrialRunReport:
     cached: int
     n_jobs: int
     elapsed: float
+    cached_indices: tuple[int, ...] = ()

@@ -1,0 +1,61 @@
+"""The named scenario registry.
+
+Consumers declare *builders* — callables producing scenario lists from an
+:class:`~repro.evaluation.experiments.ExperimentConfig` — under stable
+names, so workloads can be launched by name from the CLI
+(``repro run-scenario --preset table1``), from CI smoke grids, or from
+notebooks, without importing the consumer that defined them.  The
+default presets (:mod:`repro.scenarios.presets`) register themselves on
+package import.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ValidationError
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "register_scenarios",
+    "scenario_builder",
+    "build_scenarios",
+    "available_scenarios",
+]
+
+ScenarioBuilder = Callable[..., Sequence[ScenarioSpec]]
+
+_BUILDERS: dict[str, ScenarioBuilder] = {}
+
+
+def register_scenarios(
+    name: str, builder: ScenarioBuilder, *, replace: bool = False
+) -> None:
+    """Register ``builder`` under ``name`` (``builder(config) -> scenarios``)."""
+    if not replace and name in _BUILDERS:
+        raise ValidationError(f"scenario preset {name!r} is already registered")
+    _BUILDERS[name] = builder
+
+
+def scenario_builder(name: str) -> ScenarioBuilder:
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scenario preset {name!r}; registered presets: "
+            f"{', '.join(available_scenarios()) or '(none)'}"
+        ) from None
+
+
+def build_scenarios(name: str, config=None) -> tuple[ScenarioSpec, ...]:
+    """Build a registered preset's scenario list for ``config``."""
+    if config is None:
+        from repro.evaluation.experiments import default_config
+
+        config = default_config()
+    return tuple(scenario_builder(name)(config))
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Names of the registered presets, in registration order."""
+    return tuple(_BUILDERS)

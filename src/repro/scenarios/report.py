@@ -1,0 +1,77 @@
+"""Plain-text rendering of executed scenarios.
+
+The scenario engine is measurement-agnostic, so the renderer formats
+each ensemble by the *type* of its results: initiators as parameter
+triples, matching statistics as ensemble means, graphs by size, scalars
+by mean — enough for the CLI report and the CI smoke artifact without
+every consumer writing its own table code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.kronecker.initiator import Initiator
+from repro.scenarios.engine import ScenarioReport
+from repro.stats.counts import MatchingStatistics
+from repro.utils.tables import TextTable
+
+__all__ = ["summarize_results", "render_scenario_reports"]
+
+
+def summarize_results(results: Sequence) -> str:
+    """One-line, type-appropriate summary of a scenario's ensemble."""
+    if not results:
+        return "(no trials)"
+    first = results[0]
+    if isinstance(first, Initiator):
+        a = float(np.mean([r.a for r in results]))
+        b = float(np.mean([r.b for r in results]))
+        c = float(np.mean([r.c for r in results]))
+        prefix = "mean " if len(results) > 1 else ""
+        return f"{prefix}a={a:.4f}, b={b:.4f}, c={c:.4f}"
+    if isinstance(first, MatchingStatistics):
+        rows = np.array([tuple(r) for r in results], dtype=np.float64)
+        means = rows.mean(axis=0)
+        return (
+            f"mean E={means[0]:.1f}, H={means[1]:.1f}, "
+            f"T={means[2]:.1f}, D={means[3]:.1f}"
+        )
+    if isinstance(first, Graph):
+        nodes = float(np.mean([g.n_nodes for g in results]))
+        edges = float(np.mean([g.n_edges for g in results]))
+        return f"mean n={nodes:.0f}, |E|={edges:.0f}"
+    if isinstance(first, (int, float, np.floating)):
+        values = np.asarray(results, dtype=np.float64)
+        if values.size == 1:
+            return f"value={values[0]:.6g}"
+        return f"mean={values.mean():.6g}, median={np.median(values):.6g}"
+    return f"{len(results)} x {type(first).__name__}"
+
+
+def render_scenario_reports(
+    reports: Iterable[ScenarioReport], *, title: str = "Scenario report"
+) -> str:
+    """A table with one row per executed scenario."""
+    table = TextTable(
+        ["scenario", "workload", "estimator", "epsilon", "trials", "result"],
+        title=title,
+    )
+    for executed in reports:
+        scenario = executed.scenario
+        run = executed.report
+        trials = f"{len(run.results)} ({run.executed} run, {run.cached} cached)"
+        table.add_row(
+            [
+                scenario.name,
+                scenario.workload or "-",
+                scenario.estimator.method,
+                "-" if scenario.epsilon is None else scenario.epsilon,
+                trials,
+                summarize_results(executed.results),
+            ]
+        )
+    return table.render()

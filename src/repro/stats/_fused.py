@@ -1,23 +1,30 @@
-"""Back-compat shim: the fused counting kernels now live in ``repro.native``.
+"""DEPRECATED back-compat shim: the fused kernels live in ``repro.native``.
 
 PR 3 introduced the fused counting backends here; PR 4 promoted the
 backend machinery (probing, compile caching, resolution) into the shared
-native-kernel layer so the KronFit chain kernels could reuse it.  This
-module re-exports the counting surface under its historical names so
-``from repro.stats import _fused`` keeps working:
+native-kernel layer so the KronFit chain kernels could reuse it, keeping
+this module as a re-export shim.  Nothing in the repository imports it
+any more — the tier-1 suite and the benches consult the live registry
+(:data:`repro.native.counting.COUNTING_KERNEL`) directly — so importing
+it now emits a :class:`DeprecationWarning`.
+
+**Removal horizon: the shim will be deleted two PRs after PR 5** (i.e.
+with PR 7); migrate any external imports to :mod:`repro.native.counting`:
 
 * :data:`FUSED_BACKENDS`, :func:`backend_available`,
   :func:`backend_error`, :func:`backend_kernel`, :func:`fused_block` —
   straight re-exports of :mod:`repro.native.counting`;
 * :data:`_STATES` — an alias of the counting kernel's live state dict
-  (``repro.native.counting.COUNTING_KERNEL.states``), kept because tests
-  monkeypatch its entries to simulate hosts without numba or a compiler.
+  (``repro.native.counting.COUNTING_KERNEL.states``): monkeypatch the
+  registry's ``states`` mapping instead.
 
 Backend selection still goes through
 :func:`repro.stats.kernels.resolve_kernel_backend`.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.native.counting import (
     COUNTING_KERNEL,
@@ -40,3 +47,10 @@ __all__ = [
 # (kernel or None, error or None)).  The *same dict object* the registry
 # consults, so monkeypatching entries here changes resolution everywhere.
 _STATES = COUNTING_KERNEL.states
+
+warnings.warn(
+    "repro.stats._fused is a deprecated shim and will be removed in PR 7; "
+    "import the fused counting kernels from repro.native.counting instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

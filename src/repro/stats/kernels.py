@@ -20,7 +20,7 @@ This module fixes both costs:
 * Three interchangeable **backends** execute the pass, selected by the
   ``REPRO_KERNEL_BACKEND`` knob (``auto`` | ``scipy`` | ``numba`` |
   ``cext``): the blocked scipy SpGEMM, and two *fused* kernels
-  (:mod:`repro.stats._fused`) that walk the CSR rows directly with a
+  (:mod:`repro.native.counting`) that walk the CSR rows directly with a
   dense accumulator and never materialize a product entry — a
   numba-jitted loop nest when numba is installed, and the same loop nest
   compiled from C through the system compiler.  ``auto`` (the default)
@@ -57,7 +57,6 @@ from repro.errors import ValidationError
 from repro.graphs.graph import Graph
 from repro.native import counting as _native_counting
 from repro.native import registry as _native_registry
-from repro.stats import _fused
 from repro.utils.validation import check_integer
 
 __all__ = [
@@ -84,13 +83,13 @@ BLOCK_SIZE_ENV = "REPRO_BLOCK_SIZE"
 KERNEL_BACKEND_ENV = _native_registry.KERNEL_BACKEND_ENV
 
 # Canonical values of the backend knob.  "auto" resolves to the first
-# available entry of _fused.FUSED_BACKENDS, else "scipy".
-KERNEL_BACKENDS = ("auto", "scipy") + _fused.FUSED_BACKENDS
+# available entry of the native counting backends, else "scipy".
+KERNEL_BACKENDS = ("auto", "scipy") + _native_counting.FUSED_BACKENDS
 
 # Everything the knob accepts: the chain kernels call their pure-Python
 # reference "numpy", so each kernel family aliases the other's reference
 # name — one REPRO_KERNEL_BACKEND value is valid everywhere.
-KERNEL_BACKEND_CHOICES = ("auto", "scipy", "numpy") + _fused.FUSED_BACKENDS
+KERNEL_BACKEND_CHOICES = ("auto", "scipy", "numpy") + _native_counting.FUSED_BACKENDS
 
 # Auto-tuning budget: target number of stored entries in one row-block of
 # A @ A.  At int64 data plus index arrays this is roughly 64 MiB per block
@@ -347,7 +346,7 @@ def triangle_pass(
         # Beyond int32 indexing only scipy's int64 path fits.  `auto`
         # degrades silently; an explicitly named fused backend keeps the
         # fail-loudly contract instead of quietly running scipy.
-        if requested in _fused.FUSED_BACKENDS:
+        if requested in _native_counting.FUSED_BACKENDS:
             raise ValidationError(
                 f"kernel backend {requested!r} cannot address this graph: its "
                 f"CSR structure exceeds int32 indexing; use the scipy backend"
@@ -397,7 +396,7 @@ def _run_blocks(
     """
     if backend == "scipy":
         return _run_blocks_scipy(graph, blocks, per_node, offset)
-    kernel = _fused.backend_kernel(backend)
+    kernel = _native_counting.backend_kernel(backend)
     indptr, indices = _fused_csr_arrays(graph)
     n = graph.n_nodes
     workspace = np.zeros(n, dtype=np.int64)

@@ -40,3 +40,19 @@ class TestEnsembleStatistics:
     def test_empty_ensemble_rejected(self):
         with pytest.raises(ValueError):
             ensemble_matching_statistics([])
+
+
+class TestEnsembleStatisticsParallelism:
+    """The stats evaluation runs through the trial engine (PR 5)."""
+
+    def test_bit_identical_across_n_jobs(self):
+        graphs = sample_ensemble(Initiator(0.9, 0.5, 0.2), 6, 6, seed=2)
+        serial = ensemble_matching_statistics(graphs, n_jobs=1)
+        parallel = ensemble_matching_statistics(graphs, n_jobs=3)
+        assert serial == parallel
+
+    def test_honours_repro_n_jobs_env(self, monkeypatch):
+        graphs = sample_ensemble(Initiator(0.9, 0.5, 0.2), 6, 4, seed=2)
+        reference = ensemble_matching_statistics(graphs)
+        monkeypatch.setenv("REPRO_N_JOBS", "2")
+        assert ensemble_matching_statistics(graphs) == reference

@@ -126,3 +126,144 @@ class TestAcceptanceRateOnTinyGraphs:
             sample_spacing=5, seed=1,
         ).fit(Graph(2, [(0, 1)]))
         assert result.acceptance_rate == 1.0
+
+
+class TestMultiStart:
+    """Multi-start KronFit: determinism, selection, and metadata.
+
+    The satellite contract of PR 5: the winner (and its whole
+    trajectory) is bit-identical across n_jobs in {1, 4} and both
+    REPRO_POOL modes, n_starts=1 is the historical single-chain path,
+    and log-likelihood ties resolve to the lowest start index.
+    """
+
+    CONFIG = dict(
+        n_iterations=3, warmup_swaps=50, n_permutation_samples=2,
+        sample_spacing=20, seed=11,
+    )
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return sample_skg(Initiator(0.9, 0.5, 0.2), 6, seed=4)
+
+    def test_n_starts_1_is_the_single_chain_fit(self, graph):
+        default = KronFitEstimator(**self.CONFIG).fit(graph)
+        explicit = KronFitEstimator(**self.CONFIG, n_starts=1).fit(graph)
+        assert default == explicit
+        assert explicit.n_starts == 1
+        assert explicit.start == 0
+        assert explicit.start_log_likelihoods == ()
+
+    @pytest.mark.parametrize("pool_mode", ["persistent", "ephemeral"])
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_winner_bit_identical_across_n_jobs_and_pool(
+        self, graph, n_jobs, pool_mode, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_POOL", pool_mode)
+        reference = KronFitEstimator(**self.CONFIG, n_starts=3).fit(graph)
+        result = KronFitEstimator(
+            **self.CONFIG, n_starts=3, n_jobs=n_jobs
+        ).fit(graph)
+        assert result == reference
+        assert result.trajectory == reference.trajectory
+        assert result.log_likelihoods == reference.log_likelihoods
+
+    def test_winner_has_best_final_log_likelihood(self, graph):
+        result = KronFitEstimator(**self.CONFIG, n_starts=3).fit(graph)
+        assert result.n_starts == 3
+        assert len(result.start_log_likelihoods) == 3
+        assert result.log_likelihoods[-1] == max(result.start_log_likelihoods)
+        assert (
+            result.start_log_likelihoods[result.start]
+            == result.log_likelihoods[-1]
+        )
+
+    def test_starts_explore_different_modes(self, graph):
+        result = KronFitEstimator(**self.CONFIG, n_starts=3).fit(graph)
+        assert len(set(result.start_log_likelihoods)) > 1
+
+    def test_n_starts_validated(self):
+        with pytest.raises(Exception):
+            KronFitEstimator(n_starts=0)
+
+
+class TestStartSelection:
+    """The deterministic tie-break of the best-start rule."""
+
+    def make_result(self, final_ll: float) -> "KronFitResult":
+        from repro.kronecker.kronfit import KronFitResult
+
+        return KronFitResult(
+            initiator=Initiator(0.9, 0.5, 0.2),
+            k=4,
+            log_likelihoods=(final_ll - 1.0, final_ll),
+            acceptance_rate=0.5,
+            trajectory=((0.9, 0.5, 0.2),),
+        )
+
+    def test_best_wins(self):
+        from repro.kronecker.kronfit import select_best_start
+
+        results = [self.make_result(v) for v in (-10.0, -5.0, -7.0)]
+        assert select_best_start(results) == 1
+
+    def test_exact_tie_resolves_to_lowest_start(self):
+        from repro.kronecker.kronfit import select_best_start
+
+        results = [self.make_result(v) for v in (-5.0, -5.0, -5.0)]
+        assert select_best_start(results) == 0
+
+    def test_tie_with_later_better(self):
+        from repro.kronecker.kronfit import select_best_start
+
+        results = [self.make_result(v) for v in (-8.0, -5.0, -5.0)]
+        assert select_best_start(results) == 1
+
+    def test_empty_rejected(self):
+        from repro.kronecker.kronfit import select_best_start
+
+        with pytest.raises(EstimationError):
+            select_best_start([])
+
+
+class TestPerturbedInitialSigma:
+    """The deterministic per-start correspondence perturbations."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        from repro.graphs.operations import pad_to_power_of_two
+
+        raw = sample_skg(Initiator(0.9, 0.5, 0.2), 5, seed=9)
+        padded, _k = pad_to_power_of_two(raw)
+        return padded
+
+    def test_start_zero_is_degree_matched(self, graph):
+        from repro.kronecker.kronfit import perturbed_initial_sigma
+        from repro.kronecker.likelihood import degree_matched_initial_sigma
+
+        assert np.array_equal(
+            perturbed_initial_sigma(graph, 5, 0),
+            degree_matched_initial_sigma(graph, 5),
+        )
+
+    def test_perturbations_are_permutations(self, graph):
+        from repro.kronecker.kronfit import perturbed_initial_sigma
+
+        for start in range(4):
+            sigma = perturbed_initial_sigma(graph, 5, start)
+            assert np.array_equal(np.sort(sigma), np.arange(graph.n_nodes))
+
+    def test_deterministic_per_start(self, graph):
+        from repro.kronecker.kronfit import perturbed_initial_sigma
+
+        for start in range(3):
+            a = perturbed_initial_sigma(graph, 5, start)
+            b = perturbed_initial_sigma(graph, 5, start)
+            assert np.array_equal(a, b)
+
+    def test_starts_differ(self, graph):
+        from repro.kronecker.kronfit import perturbed_initial_sigma
+
+        sigmas = [perturbed_initial_sigma(graph, 5, s) for s in range(3)]
+        assert not np.array_equal(sigmas[0], sigmas[1])
+        assert not np.array_equal(sigmas[1], sigmas[2])

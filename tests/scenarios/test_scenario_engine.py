@@ -1,0 +1,314 @@
+"""Tests for scenario compilation, execution, batching, and the registry."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.protocols import (
+    FittedModel,
+    FixedInitiatorEstimator,
+    available_estimator_methods,
+    build_estimator,
+    estimator_method,
+)
+from repro.errors import ValidationError
+from repro.kronecker.initiator import Initiator
+from repro.scenarios import (
+    EstimatorSpec,
+    ScenarioSpec,
+    as_params,
+    available_measures,
+    available_scenarios,
+    build_scenarios,
+    compile_scenario,
+    fixed_seeds,
+    register_scenarios,
+    render_scenario_reports,
+    run_scenario,
+    run_scenarios,
+    scenario_builder,
+    spawn_seeds,
+)
+from repro.scenarios.engine import _scenario_trial
+from repro.stats.counts import MatchingStatistics
+
+
+def sampling_scenario(name="fixed-skg", size=3, entropy=(11, 7)) -> ScenarioSpec:
+    """A fast pure-sampling scenario (no dataset, k=5 SKG draws)."""
+    return ScenarioSpec(
+        name=name,
+        workload=None,
+        estimator=EstimatorSpec.create("Fixed", a=0.9, b=0.5, c=0.2, k=5),
+        ensemble_size=size,
+        seed_policy=spawn_seeds(*entropy),
+        measure="synthetic_statistics",
+    )
+
+
+class TestProtocols:
+    def test_registered_methods(self):
+        assert set(available_estimator_methods()) == {
+            "KronFit",
+            "KronMom",
+            "Private",
+            "DPDegree",
+            "Fixed",
+        }
+
+    def test_unknown_method_fails_loudly(self):
+        with pytest.raises(ValidationError, match="registered methods"):
+            estimator_method("Oracle")
+
+    def test_budget_injection_respects_pinned_params(self):
+        estimator = build_estimator(
+            "DPDegree", as_params(epsilon=5.0), epsilon=0.1, seed=0
+        )
+        assert estimator.epsilon == 5.0
+
+    def test_budget_injection_fills_missing(self):
+        estimator = build_estimator("DPDegree", (), epsilon=0.7, seed=0)
+        assert estimator.epsilon == 0.7
+
+    def test_non_seeded_methods_ignore_seed(self):
+        # KronMom takes no seed kwarg; injection must not pass one.
+        estimator = build_estimator("KronMom", (), seed=np.random.default_rng(0))
+        graph = Initiator(0.9, 0.5, 0.2).sample(6, seed=0)
+        assert estimator.fit(graph).initiator is not None
+
+    def test_fixed_estimator_is_a_fitted_model_factory(self):
+        model = FixedInitiatorEstimator(a=0.9, b=0.5, c=0.2, k=4).fit(None)
+        assert isinstance(model, FittedModel)
+        assert math.isinf(model.epsilon)
+        assert model.sample_graph(seed=0).n_nodes == 16
+
+    def test_estimator_result_epsilon(self):
+        graph = Initiator(0.9, 0.5, 0.2).sample(6, seed=0)
+        nonprivate = build_estimator("KronMom", ()).fit(graph)
+        assert math.isinf(nonprivate.epsilon)
+        private = build_estimator(
+            "Private", (), epsilon=1.0, delta=0.01, seed=0
+        ).fit(graph)
+        assert private.epsilon == 1.0
+
+
+class TestCompile:
+    def test_trial_count_and_materialized_seeds(self):
+        scenario = sampling_scenario(size=4)
+        specs = compile_scenario(scenario)
+        assert len(specs) == 4
+        assert all(spec.seed is not None for spec in specs)
+        expected = np.random.SeedSequence([11, 7]).spawn(4)
+        assert [s.seed.entropy for s in specs] == [c.entropy for c in expected]
+
+    def test_fixed_seeds_pinned(self):
+        scenario = ScenarioSpec(
+            name="pinned",
+            workload=None,
+            estimator=EstimatorSpec.create("Fixed", a=0.9, b=0.5, c=0.2, k=4),
+            ensemble_size=2,
+            seed_policy=fixed_seeds(41, 42),
+            measure="synthetic_statistics",
+        )
+        assert [s.seed for s in compile_scenario(scenario)] == [41, 42]
+
+    def test_unknown_method_fails_at_compile_time(self):
+        scenario = ScenarioSpec(
+            name="bad", workload=None, estimator=EstimatorSpec.create("Oracle")
+        )
+        with pytest.raises(ValidationError, match="estimator method"):
+            compile_scenario(scenario)
+
+    def test_unknown_measure_fails_at_compile_time(self):
+        scenario = sampling_scenario()
+        scenario = ScenarioSpec(
+            name=scenario.name,
+            workload=None,
+            estimator=scenario.estimator,
+            ensemble_size=1,
+            measure="telepathy",
+        )
+        with pytest.raises(ValidationError, match="measure"):
+            compile_scenario(scenario)
+
+
+class TestRun:
+    def test_results_are_matching_statistics(self):
+        report = run_scenario(sampling_scenario())
+        assert len(report.results) == 3
+        assert all(isinstance(r, MatchingStatistics) for r in report.results)
+
+    def test_bit_identical_across_n_jobs(self):
+        serial = run_scenario(sampling_scenario(), n_jobs=1)
+        parallel = run_scenario(sampling_scenario(), n_jobs=4)
+        assert serial.results == parallel.results
+
+    def test_batched_equals_sequential(self):
+        scenarios = [
+            sampling_scenario("one", size=2, entropy=(1,)),
+            sampling_scenario("two", size=3, entropy=(2,)),
+        ]
+        batched = run_scenarios(scenarios, n_jobs=2)
+        sequential = [run_scenario(s) for s in scenarios]
+        assert [r.results for r in batched] == [r.results for r in sequential]
+
+    def test_batched_reports_attribute_trials_per_scenario(self):
+        scenarios = [
+            sampling_scenario("one", size=2, entropy=(1,)),
+            sampling_scenario("two", size=3, entropy=(2,)),
+        ]
+        reports = run_scenarios(scenarios)
+        assert [len(r.results) for r in reports] == [2, 3]
+        assert [r.report.executed for r in reports] == [2, 3]
+
+    def test_cache_split_attributed_per_scenario(self, tmp_path):
+        scenarios = [
+            sampling_scenario("one", size=2, entropy=(1,)),
+            sampling_scenario("two", size=3, entropy=(2,)),
+        ]
+        cache = str(tmp_path / "cache")
+        run_scenarios(scenarios[:1], cache=cache)
+        reports = run_scenarios(scenarios, cache=cache)
+        assert reports[0].report.cached == 2
+        assert reports[0].report.executed == 0
+        assert reports[1].report.cached == 0
+        assert reports[1].report.executed == 3
+
+    def test_trial_rng_flows_fit_then_measure(self):
+        # Directly drive the generic trial: the Fixed model samples with
+        # the trial stream, so equal seeds give equal statistics.
+        kwargs = dict(
+            workload=None,
+            method="Fixed",
+            estimator_params=as_params(a=0.9, b=0.5, c=0.2, k=5),
+            epsilon=None,
+            delta=None,
+            measure="synthetic_statistics",
+            measure_params=(),
+        )
+        one = _scenario_trial(np.random.default_rng(3), **kwargs)
+        two = _scenario_trial(np.random.default_rng(3), **kwargs)
+        assert one == two
+
+
+class TestRegistry:
+    def test_default_presets_registered(self):
+        names = available_scenarios()
+        assert "table1" in names
+        assert "baseline-comparison" in names
+
+    def test_build_table1_preset_shape(self):
+        from repro.evaluation.experiments import ExperimentConfig
+
+        scenarios = build_scenarios("table1", ExperimentConfig())
+        assert len(scenarios) == 12
+        assert {s.measure for s in scenarios} == {"initiator"}
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            register_scenarios("table1", lambda config: ())
+
+    def test_replace_allows_override(self):
+        original = scenario_builder("table1")
+        try:
+            register_scenarios("table1", lambda config: (), replace=True)
+            assert build_scenarios("table1") == ()
+        finally:
+            register_scenarios("table1", original, replace=True)
+
+    def test_unknown_preset_fails_loudly(self):
+        with pytest.raises(ValidationError, match="scenario preset"):
+            scenario_builder("does-not-exist")
+
+
+class TestRender:
+    def test_report_renders_every_scenario(self):
+        reports = run_scenarios([sampling_scenario("render-me", size=2)])
+        text = render_scenario_reports(reports, title="Smoke")
+        assert "Smoke" in text
+        assert "render-me" in text
+        assert "mean E=" in text
+
+    def test_measures_registry_names(self):
+        assert "synthetic_statistics" in available_measures()
+        assert "graph_statistics" in available_measures()
+
+
+class TestCacheInvalidation:
+    def test_editing_a_measure_invalidates_cached_trials(self, tmp_path, monkeypatch):
+        """The cache key must track the code the trial dispatches to by
+        name, not just the generic trial function's own source."""
+        from repro.scenarios import measures
+
+        cache = str(tmp_path / "cache")
+        scenario = sampling_scenario("cache-salt", size=2, entropy=(5,))
+        first = run_scenarios([scenario], cache=cache)[0]
+        assert first.report.executed == 2
+
+        def patched(rng, model, graph):
+            return measures.measure_synthetic_statistics(rng, model, graph)
+
+        monkeypatch.setitem(measures.MEASURES, "synthetic_statistics", patched)
+        second = run_scenarios([scenario], cache=cache)[0]
+        assert second.report.cached == 0, (
+            "stale cache served after the measure implementation changed"
+        )
+        assert second.report.executed == 2
+
+    def test_unchanged_code_still_resumes_from_cache(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        scenario = sampling_scenario("cache-hit", size=2, entropy=(6,))
+        run_scenarios([scenario], cache=cache)
+        resumed = run_scenarios([scenario], cache=cache)[0]
+        assert resumed.report.cached == 2
+        assert resumed.report.executed == 0
+
+
+class TestCodeTargets:
+    def test_every_method_resolves_a_code_target(self):
+        for name in available_estimator_methods():
+            target = estimator_method(name).resolve_code_target()
+            assert callable(target)
+
+    def test_kronfit_target_is_the_estimator_class(self):
+        from repro.kronecker.kronfit import KronFitEstimator
+
+        assert (
+            estimator_method("KronFit").resolve_code_target() is KronFitEstimator
+        )
+
+
+class TestBaselinePresetBudget:
+    def test_preset_honours_config_epsilon(self):
+        import dataclasses
+
+        from repro.evaluation.experiments import ExperimentConfig
+        from repro.scenarios import baseline_comparison_scenarios
+
+        scenarios = baseline_comparison_scenarios(
+            dataclasses.replace(ExperimentConfig(), epsilon=1.5, delta=0.02)
+        )
+        assert {s.epsilon for s in scenarios} == {1.5}
+        private = next(s for s in scenarios if s.estimator.method == "Private")
+        assert private.delta == 0.02
+
+    def test_preset_defaults_to_paper_operating_point(self):
+        from repro.scenarios import baseline_comparison_scenarios
+
+        scenarios = baseline_comparison_scenarios()
+        assert {s.epsilon for s in scenarios} == {0.2}
+
+
+class TestWorkloadValidation:
+    def test_unknown_workload_fails_at_compile_time(self):
+        from repro.errors import DatasetError
+
+        scenario = ScenarioSpec(
+            name="bad-workload",
+            workload="no-such-dataset",
+            estimator=EstimatorSpec.create("KronMom"),
+        )
+        with pytest.raises(DatasetError):
+            compile_scenario(scenario)

@@ -31,7 +31,11 @@ from repro.graphs import Graph
 from repro.graphs.generators import complete_graph, erdos_renyi_graph, star_graph
 from repro.kronecker.initiator import Initiator
 from repro.kronecker.sampling import sample_skg
-from repro.stats import _fused
+from repro.native.counting import (
+    COUNTING_KERNEL,
+    FUSED_BACKENDS,
+    backend_available,
+)
 from repro.stats.kernels import (
     KERNEL_BACKEND_ENV,
     TrianglePassResult,
@@ -51,11 +55,11 @@ from repro.stats.spectral import network_values, singular_values
 def _backend_params() -> list:
     """One param per backend; unavailable ones become visible skips."""
     params = []
-    for name in ("scipy",) + _fused.FUSED_BACKENDS:
-        if name == "scipy" or _fused.backend_available(name):
+    for name in ("scipy",) + FUSED_BACKENDS:
+        if name == "scipy" or backend_available(name):
             params.append(pytest.param(name))
         else:
-            reason = f"{name} backend unavailable: {_fused.backend_error(name)}"
+            reason = f"{name} backend unavailable: {COUNTING_KERNEL.error(name)}"
             params.append(pytest.param(name, marks=pytest.mark.skip(reason=reason)))
     return params
 
@@ -207,7 +211,7 @@ class TestBackendResolution:
     def test_missing_numba_fails_loudly(self, monkeypatch):
         """REPRO_KERNEL_BACKEND=numba without numba is a clear, loud error."""
         monkeypatch.setitem(
-            _fused._STATES, "numba", (None, "numba is not installed")
+            COUNTING_KERNEL.states, "numba", (None, "numba is not installed")
         )
         monkeypatch.setenv(KERNEL_BACKEND_ENV, "numba")
         with pytest.raises(ValidationError, match="numba is not installed"):
@@ -224,8 +228,10 @@ class TestBackendResolution:
 
     def test_auto_silently_falls_back_to_scipy(self, monkeypatch):
         """With every fused backend unavailable, auto degrades without noise."""
-        for name in _fused.FUSED_BACKENDS:
-            monkeypatch.setitem(_fused._STATES, name, (None, f"{name} disabled"))
+        for name in FUSED_BACKENDS:
+            monkeypatch.setitem(
+                COUNTING_KERNEL.states, name, (None, f"{name} disabled")
+            )
         monkeypatch.setenv(KERNEL_BACKEND_ENV, "auto")
         assert resolve_kernel_backend() == "scipy"
         assert available_kernel_backends() == ("scipy",)
@@ -233,7 +239,7 @@ class TestBackendResolution:
         assert_bit_identical(graph, family_reference("clique"), None, 0)
 
     @pytest.mark.skipif(
-        not any(_fused.backend_available(name) for name in _fused.FUSED_BACKENDS),
+        not any(backend_available(name) for name in FUSED_BACKENDS),
         reason="no fused backend available on this host",
     )
     def test_auto_prefers_fused_backends(self, monkeypatch):

@@ -1,0 +1,43 @@
+"""The deprecated ``repro.stats._fused`` shim: warning + live aliasing.
+
+PR 5 deprecated the shim (removal horizon: PR 7).  Until then it must
+keep warning loudly and keep aliasing the *live* native registry, so any
+straggling external monkeypatches still affect resolution.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+import pytest
+
+
+def fresh_import():
+    sys.modules.pop("repro.stats._fused", None)
+    return importlib.import_module("repro.stats._fused")
+
+
+class TestFusedShimDeprecation:
+    def test_import_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="repro.native.counting"):
+            fresh_import()
+
+    def test_shim_aliases_the_live_registry(self):
+        from repro.native.counting import COUNTING_KERNEL, FUSED_BACKENDS
+
+        with pytest.warns(DeprecationWarning):
+            shim = fresh_import()
+        assert shim._STATES is COUNTING_KERNEL.states
+        assert shim.FUSED_BACKENDS == FUSED_BACKENDS
+
+    def test_nothing_in_the_package_imports_the_shim(self):
+        """The tier-1 suite must not trip the warning transitively."""
+        for name in list(sys.modules):
+            if name == "repro.stats._fused":
+                sys.modules.pop(name)
+        import repro.evaluation  # noqa: F401  (pulls in the whole stack)
+        import repro.scenarios  # noqa: F401
+        import repro.stats.kernels  # noqa: F401
+
+        assert "repro.stats._fused" not in sys.modules

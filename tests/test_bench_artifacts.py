@@ -62,3 +62,25 @@ class TestBenchArtifactSchema:
         must be the full matrix."""
         report = json.loads((OUT_DIR / artifact).read_text(encoding="utf-8"))
         assert report.get("quick") is False
+
+    def test_kronfit_artifact_records_multistart_column(self):
+        """Schema 2 added the multi-start column: the committed artifact
+        must carry the S=8 serial/parallel trajectory and the floor
+        record (measured even when the reference container cannot assert
+        the parallel floor — e.g. a single usable core)."""
+        report = json.loads(
+            (OUT_DIR / "BENCH_kronfit.json").read_text(encoding="utf-8")
+        )
+        floor = report["multistart_floor"]
+        assert floor["n_starts"] == 8
+        assert floor["measured"] is not None
+        assert floor["asserted"] or floor["skip_reason"]
+        record = next(
+            workload
+            for workload in report["workloads"]
+            if workload["workload"] == floor["workload"]
+        )
+        by_jobs = record["multistart"]["by_n_jobs"]
+        assert set(by_jobs) == {"1", "4"}
+        winners = {entry["winning_start"] for entry in by_jobs.values()}
+        assert len(winners) == 1, "winner must be identical across n_jobs"

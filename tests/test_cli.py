@@ -250,13 +250,174 @@ class TestKernelBackendOption:
         self, edge_list_file, capsys, monkeypatch
     ):
         """Requesting a fused backend the host lacks is a clear exit-1 error."""
-        from repro.stats import _fused
+        from repro.native.counting import COUNTING_KERNEL
 
         monkeypatch.setitem(
-            _fused._STATES, "numba", (None, "numba is not installed")
+            COUNTING_KERNEL.states, "numba", (None, "numba is not installed")
         )
         code = main(["--kernel-backend", "numba", "summarize", str(edge_list_file)])
         assert code == 1
         error = capsys.readouterr().err
         assert "error:" in error
         assert "numba is not installed" in error
+
+
+class TestRunScenario:
+    def test_list_presets(self, capsys):
+        assert main(["run-scenario", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output
+        assert "baseline-comparison" in output
+        assert "kronfit" in output
+
+    def test_grid_runs_and_writes_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_KRONFIT_ITERATIONS", "2")
+        out = tmp_path / "report.txt"
+        code = main(
+            [
+                "run-scenario",
+                "--datasets",
+                "synthetic-kronecker",
+                "--estimators",
+                "kronmom,dpdegree",
+                "--count",
+                "2",
+                "--n-jobs",
+                "2",
+                "--seed",
+                "0",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "synthetic-kronecker:KronMom" in output
+        assert "synthetic-kronecker:DPDegree" in output
+        assert "4 trial(s) executed" in output
+        assert out.read_text().strip() == output.rsplit(
+            "scenario report written", 1
+        )[0].strip()
+
+    def test_grid_is_deterministic_given_seed(self, capsys, monkeypatch):
+        arguments = [
+            "run-scenario",
+            "--datasets",
+            "synthetic-kronecker",
+            "--estimators",
+            "dpdegree",
+            "--count",
+            "2",
+            "--seed",
+            "7",
+        ]
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert main(arguments) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_cache_resume_executes_nothing(self, tmp_path, capsys):
+        arguments = [
+            "run-scenario",
+            "--datasets",
+            "synthetic-kronecker",
+            "--estimators",
+            "dpdegree",
+            "--count",
+            "2",
+            "--seed",
+            "3",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(arguments) == 0
+        assert "2 trial(s) executed, 0 from cache" in capsys.readouterr().out
+        assert main(arguments) == 0
+        assert "0 trial(s) executed, 2 from cache" in capsys.readouterr().out
+
+    def test_unknown_estimator_rejected(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "--datasets",
+                "synthetic-kronecker",
+                "--estimators",
+                "oracle",
+            ]
+        )
+        assert code == 1
+        assert "unknown estimator" in capsys.readouterr().err
+
+    def test_preset_and_grid_flags_are_exclusive(self, capsys):
+        code = main(
+            [
+                "run-scenario",
+                "--preset",
+                "table1",
+                "--datasets",
+                "synthetic-kronecker",
+            ]
+        )
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_missing_axes_rejected(self, capsys):
+        assert main(["run-scenario"]) == 1
+        assert "--datasets" in capsys.readouterr().err
+
+    def test_n_starts_flows_into_kronfit_scenarios(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_KRONFIT_ITERATIONS", "2")
+        code = main(
+            [
+                "run-scenario",
+                "--datasets",
+                "synthetic-kronecker",
+                "--estimators",
+                "kronfit",
+                "--count",
+                "1",
+                "--n-starts",
+                "2",
+                "--seed",
+                "0",
+            ]
+        )
+        assert code == 0
+        assert "KronFit" in capsys.readouterr().out
+
+    def test_count_rejected_with_preset(self, capsys):
+        code = main(
+            ["run-scenario", "--preset", "table1", "--count", "5"]
+        )
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestTable1ErrorPath:
+    def test_unknown_method_prints_error_not_traceback(self, capsys):
+        code = main(["table1", "--methods", "Bogus"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
+class TestRunScenarioCacheEnv:
+    def test_honours_repro_cache_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        arguments = [
+            "run-scenario",
+            "--datasets",
+            "synthetic-kronecker",
+            "--estimators",
+            "dpdegree",
+            "--count",
+            "2",
+            "--seed",
+            "9",
+        ]
+        assert main(arguments) == 0
+        assert "2 trial(s) executed, 0 from cache" in capsys.readouterr().out
+        assert main(arguments) == 0
+        assert "0 trial(s) executed, 2 from cache" in capsys.readouterr().out
