@@ -34,6 +34,7 @@ Subcommands::
                               --estimators E1,E2] [--epsilon E --delta D]
                               [--count N] [--n-starts S] [--n-jobs J]
                               [--cache-dir DIR] [--out FILE] [--list]
+                              [--track [--runs-dir DIR]]
         Run a declarative scenario grid (repro.scenarios).  ``--preset``
         executes a registered scenario list by name (``--list`` shows
         them); otherwise ``--datasets`` × ``--estimators`` (kronfit,
@@ -43,7 +44,23 @@ Subcommands::
         ``--n-starts`` selects multi-start KronFit (S chains per fit,
         best final log-likelihood wins).  Scenario trials run through
         the parallel trial engine: bit-identical for any ``--n-jobs``,
-        memoized under ``--cache-dir``.
+        memoized under ``--cache-dir``.  ``--track`` additionally writes
+        a run directory (config, materialized seeds, per-trial metric
+        tables, environment fingerprint, cache attribution) under
+        ``--runs-dir`` (default: REPRO_RUNS_DIR or ``runs/``).
+
+    python -m repro compare RUN_A RUN_B [--runs-dir DIR] [--tolerance T]
+        Diff two tracked runs (paths or names under the runs directory):
+        config/environment deltas, per-scenario metric drift against the
+        tolerance (default 0 = bit-identical), and each run's
+        executed/cached attribution.  Exits 1 when metrics drift beyond
+        tolerance or the runs measured different things.
+
+    python -m repro runs {list | show RUN} [--runs-dir DIR]
+        Inspect tracked run directories: ``list`` tabulates them oldest
+        first (``--paths`` prints bare paths for scripting), ``show``
+        prints one run's configuration, environment, and per-scenario
+        metric summary.
 
 ``GRAPH`` is either a registered dataset name (see ``datasets``) or a path
 to a SNAP-format edge list (optionally gzipped).
@@ -261,6 +278,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario_parser.add_argument(
         "--out", default=None, help="write the scenario report here"
+    )
+    scenario_parser.add_argument(
+        "--track",
+        action="store_true",
+        help=(
+            "write a tracked run directory (config, seeds, per-trial metric "
+            "tables, environment fingerprint, cache attribution)"
+        ),
+    )
+    scenario_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        dest="runs_dir",
+        help="tracked-run root for --track (default: REPRO_RUNS_DIR or runs/)",
+    )
+
+    compare_parser = commands.add_parser(
+        "compare", help="diff two tracked run directories"
+    )
+    compare_parser.add_argument("run_a", help="run directory path or name")
+    compare_parser.add_argument("run_b", help="run directory path or name")
+    compare_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        dest="runs_dir",
+        help="where to resolve bare run names (default: REPRO_RUNS_DIR or runs/)",
+    )
+    compare_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="max |metric delta| treated as identical (default 0 = bitwise)",
+    )
+
+    runs_parser = commands.add_parser(
+        "runs", help="inspect tracked run directories"
+    )
+    runs_commands = runs_parser.add_subparsers(dest="runs_command", required=True)
+    runs_list_parser = runs_commands.add_parser(
+        "list", help="tabulate tracked runs, oldest first"
+    )
+    runs_list_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        dest="runs_dir",
+        help="tracked-run root (default: REPRO_RUNS_DIR or runs/)",
+    )
+    runs_list_parser.add_argument(
+        "--paths",
+        action="store_true",
+        help="print bare run-directory paths (for scripting)",
+    )
+    runs_show_parser = runs_commands.add_parser(
+        "show", help="print one tracked run's record"
+    )
+    runs_show_parser.add_argument("run", help="run directory path or name")
+    runs_show_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        dest="runs_dir",
+        help="where to resolve bare run names (default: REPRO_RUNS_DIR or runs/)",
     )
 
     figure_parser = commands.add_parser(
@@ -588,6 +666,115 @@ def _cmd_run_scenario(arguments: argparse.Namespace) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text + "\n" + footer + "\n", encoding="utf-8")
         print(f"scenario report written to {path}")
+    if arguments.track:
+        from repro.tracking import build_run_record, write_run
+
+        record = build_run_record(
+            reports,
+            config=config,
+            label=arguments.preset or "grid",
+            preset=arguments.preset,
+        )
+        run_path = write_run(record, arguments.runs_dir)
+        print(f"run directory: {run_path}")
+    return 0
+
+
+def _cmd_compare(arguments: argparse.Namespace) -> int:
+    from repro.tracking import (
+        compare_runs,
+        find_run,
+        load_run,
+        render_comparison,
+        resolve_runs_dir,
+    )
+
+    runs_dir = resolve_runs_dir(arguments.runs_dir)
+    path_a = find_run(arguments.run_a, runs_dir)
+    path_b = find_run(arguments.run_b, runs_dir)
+    comparison = compare_runs(
+        load_run(path_a),
+        load_run(path_b),
+        tolerance=arguments.tolerance,
+        name_a=path_a.name,
+        name_b=path_b.name,
+    )
+    print(render_comparison(comparison))
+    return 1 if comparison.has_drift else 0
+
+
+def _cmd_runs(arguments: argparse.Namespace) -> int:
+    from repro.tracking import find_run, list_runs, load_run, resolve_runs_dir
+
+    runs_dir = resolve_runs_dir(arguments.runs_dir)
+    if arguments.runs_command == "list":
+        paths = list_runs(runs_dir)
+        if arguments.paths:
+            for path in paths:
+                print(path)
+            return 0
+        if not paths:
+            print(f"no tracked runs under {runs_dir}")
+            return 0
+        table = TextTable(
+            ["run", "created", "preset", "scenarios", "trials", "executed", "cached"],
+            title=f"Tracked runs under {runs_dir}",
+        )
+        for path in paths:
+            record = load_run(path)
+            trials = sum(
+                scenario["ensemble_size"] for scenario in record.scenarios
+            )
+            table.add_row(
+                [
+                    path.name,
+                    record.created,
+                    record.preset or "-",
+                    len(record.scenarios),
+                    trials,
+                    record.timing["executed"],
+                    record.timing["cached"],
+                ]
+            )
+        print(table.render())
+        return 0
+    path = find_run(arguments.run, runs_dir)
+    record = load_run(path)
+    print(f"run {path.name}")
+    print(f"  created: {record.created}")
+    print(f"  label: {record.label}  preset: {record.preset or '-'}")
+    print(f"  schema_version: {record.schema_version}")
+    print(
+        "  timing: "
+        f"{record.timing['executed']} executed / {record.timing['cached']} cached, "
+        f"n_jobs={record.timing['n_jobs']}, "
+        f"{record.timing['elapsed_seconds']:.2f}s"
+    )
+    print("  environment:")
+    for key in sorted(record.environment):
+        print(f"    {key}: {record.environment[key]}")
+    print("  config:")
+    for key in sorted(record.config):
+        print(f"    {key}: {record.config[key]}")
+    table = TextTable(
+        ["scenario", "estimator", "trials", "executed", "cached", "metrics"],
+        title="Scenarios",
+    )
+    for scenario in record.scenarios:
+        metric_names = sorted(
+            {name for row in scenario["metrics"] for name in row}
+        )
+        table.add_row(
+            [
+                scenario["name"],
+                scenario["estimator"]["method"],
+                scenario["ensemble_size"],
+                scenario["executed"],
+                scenario["cached"],
+                ", ".join(metric_names) if metric_names else "-",
+            ]
+        )
+    print(table.render())
     return 0
 
 
@@ -643,6 +830,8 @@ _HANDLERS = {
     "sample": _cmd_sample,
     "run-ensemble": _cmd_run_ensemble,
     "run-scenario": _cmd_run_scenario,
+    "compare": _cmd_compare,
+    "runs": _cmd_runs,
     "figure": _cmd_figure,
     "table1": _cmd_table1,
 }

@@ -58,9 +58,11 @@ from repro.scenarios import presets as _presets  # registers the default presets
 from repro.scenarios.presets import (
     available_estimator_axis_values,
     baseline_comparison_scenarios,
+    baseline_scoring_scenarios,
     epsilon_ablation_scenarios,
     estimator_axis,
     expected_ensemble_scenario,
+    figure_scenarios,
     scenario_grid,
     table1_scenarios,
 )
@@ -94,6 +96,8 @@ __all__ = [
     "table1_scenarios",
     "epsilon_ablation_scenarios",
     "baseline_comparison_scenarios",
+    "baseline_scoring_scenarios",
+    "figure_scenarios",
     "expected_ensemble_scenario",
     "scenario_grid",
 ]

@@ -46,11 +46,18 @@ _logger = get_logger(__name__)
 
 @dataclass(frozen=True)
 class ScenarioReport:
-    """One executed scenario: the spec, its results, and run telemetry."""
+    """One executed scenario: the spec, its results, and run telemetry.
+
+    ``seeds`` carries the compiled per-trial seeds the engine actually
+    executed (ints or spawned :class:`numpy.random.SeedSequence`
+    children, in trial order) — the materialized randomness the tracked
+    run record (:mod:`repro.tracking`) persists verbatim.
+    """
 
     scenario: ScenarioSpec
     results: list = field(repr=False)
     report: TrialRunReport = field(repr=False)
+    seeds: tuple = field(default=(), repr=False)
 
 
 def compile_scenario(scenario: ScenarioSpec) -> list[TrialSpec]:
@@ -118,7 +125,12 @@ def run_scenario(
         label=f"scenario:{scenario.name}",
         pool=pool,
     )
-    return ScenarioReport(scenario=scenario, results=report.results, report=report)
+    return ScenarioReport(
+        scenario=scenario,
+        results=report.results,
+        report=report,
+        seeds=tuple(spec.seed for spec in specs),
+    )
 
 
 def run_scenarios(
@@ -169,6 +181,7 @@ def run_scenarios(
                     elapsed=batch.elapsed,
                     cached_indices=cached,
                 ),
+                seeds=tuple(spec.seed for spec in specs[offset : offset + size]),
             )
         )
     return reports

@@ -67,6 +67,49 @@ def measure_synthetic_statistics(
     return matching_statistics(model.sample_graph(seed=rng))
 
 
+def measure_graph_comparison(
+    rng: np.random.Generator, model, graph, *, sample_seed=None
+) -> dict[str, float]:
+    """Score one synthetic realization against the original workload graph.
+
+    The scenario-level form of the baseline bench's scoring tables: one
+    synthetic graph is sampled exactly like :func:`measure_sample_graph`
+    (``sample_seed`` pins historical draws), then compared against the
+    workload on the statistics the paper plots — degree-distribution KS
+    distance, relative errors of the four matching statistics, and the
+    structure the synthesizers are never told (average clustering,
+    degree assortativity).  Returns a flat metric row, so tracked runs
+    (:mod:`repro.tracking`) persist the comparison verbatim.
+    """
+    from repro.stats.assortativity import degree_assortativity
+    from repro.stats.clustering import average_clustering
+    from repro.stats.comparison import ks_distance, statistics_relative_errors
+
+    if graph is None:
+        raise ValidationError(
+            "the graph_comparison measure needs a workload graph to compare "
+            "against; pure-sampling scenarios have nothing to score"
+        )
+    synthetic = model.sample_graph(seed=rng if sample_seed is None else sample_seed)
+    errors = statistics_relative_errors(
+        matching_statistics(synthetic), matching_statistics(graph)
+    )
+    return {
+        "degree_ks": ks_distance(
+            graph.degrees[graph.degrees > 0],
+            synthetic.degrees[synthetic.degrees > 0],
+        ),
+        "edges_rel_err": errors["edges"],
+        "hairpins_rel_err": errors["hairpins"],
+        "tripins_rel_err": errors["tripins"],
+        "triangles_rel_err": errors["triangles"],
+        "avg_clustering": float(average_clustering(synthetic)),
+        "degree_assortativity": float(degree_assortativity(synthetic)),
+        "n_nodes": float(synthetic.n_nodes),
+        "n_edges": float(synthetic.n_edges),
+    }
+
+
 def measure_graph_statistics(
     rng: np.random.Generator,
     model,
@@ -98,6 +141,7 @@ MEASURES: dict[str, Callable[..., Any]] = {
     "sample_graph": measure_sample_graph,
     "synthetic_statistics": measure_synthetic_statistics,
     "graph_statistics": measure_graph_statistics,
+    "graph_comparison": measure_graph_comparison,
 }
 
 

@@ -16,6 +16,7 @@ fitted initiator) are plain functions.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -38,6 +39,8 @@ __all__ = [
     "table1_scenarios",
     "epsilon_ablation_scenarios",
     "baseline_comparison_scenarios",
+    "baseline_scoring_scenarios",
+    "figure_scenarios",
     "expected_ensemble_scenario",
     "scenario_grid",
 ]
@@ -173,6 +176,75 @@ def baseline_comparison_scenarios(config=None) -> tuple[ScenarioSpec, ...]:
     )
 
 
+def baseline_scoring_scenarios(config=None) -> tuple[ScenarioSpec, ...]:
+    """The §5 comparison with declarative scoring against the original.
+
+    The same two synthesizer cells as ``baseline-comparison`` (identical
+    fit/sample seeds, identical budget handling) but measured with the
+    ``graph_comparison`` family: each trial returns the flat metric row
+    (degree KS, matching-statistic relative errors, clustering,
+    assortativity) the baseline bench used to compute by hand — so a
+    tracked run (``repro run-scenario --preset baseline-scoring
+    --track``) lands the scoring tables in ``run.json`` like every other
+    measurement.  The sampled graphs are bit-identical to the
+    ``baseline-comparison`` preset's, so the metrics equal the bench's
+    historical hand-computed scores exactly.
+    """
+    return tuple(
+        dataclasses.replace(
+            scenario,
+            name=scenario.name.replace("baseline-comparison", "baseline-scoring"),
+            measure="graph_comparison",
+        )
+        for scenario in baseline_comparison_scenarios(config)
+    )
+
+
+def figure_scenarios(config) -> tuple[ScenarioSpec, ...]:
+    """The figures' computation half, declared as scenarios.
+
+    One scenario per (figure dataset × estimator): fit, sample one
+    synthetic realization, and compute the five figure statistics (the
+    ``graph_statistics`` measurement).  Running the preset produces the
+    figures' underlying *data* — per-series metric tables in a tracked
+    run directory (``repro run-scenario --preset figures --track``) —
+    while the ASCII rendering (``repro figure N`` via
+    :func:`repro.evaluation.reporting.render_figure`) stays a thin
+    consumer of the same computation.
+
+    Spawn seed policies rooted at (config seed, figure number, method
+    index) keep the preset reproducible and bit-identical at any worker
+    count; it deliberately does not pin the historical ``run_figure``
+    streams, which interleave fits and statistics in one generator.
+    """
+    # Imported lazily: repro.evaluation imports this package back.
+    from repro.evaluation.experiments import FIGURE_DATASETS
+
+    scenarios: list[ScenarioSpec] = []
+    for figure_number, dataset in sorted(FIGURE_DATASETS.items()):
+        for method_index, method in enumerate(TABLE1_METHODS):
+            scenarios.append(
+                ScenarioSpec(
+                    name=f"figures:f{figure_number}:{dataset}:{method}",
+                    workload=dataset,
+                    estimator=estimator_axis(method, config),
+                    epsilon=config.epsilon,
+                    delta=config.delta,
+                    ensemble_size=1,
+                    seed_policy=spawn_seeds(
+                        config.seed, figure_number, method_index
+                    ),
+                    measure="graph_statistics",
+                    measure_params=as_params(
+                        label=method,
+                        hop_sources=config.hop_sources or None,
+                        svd_rank=config.svd_rank,
+                    ),
+                )
+            )
+    return tuple(scenarios)
+
+
 def expected_ensemble_scenario(
     *,
     name: str,
@@ -250,3 +322,5 @@ def scenario_grid(
 
 register_scenarios("table1", table1_scenarios)
 register_scenarios("baseline-comparison", baseline_comparison_scenarios)
+register_scenarios("baseline-scoring", baseline_scoring_scenarios)
+register_scenarios("figures", figure_scenarios)

@@ -1,0 +1,100 @@
+"""Per-trial metric extraction: scenario results as flat numeric rows.
+
+A tracked run stores, for every trial, a flat ``{metric name: number}``
+row — the queryable, diffable form of whatever the scenario's
+measurement returned.  Extraction is type-driven like the scenario
+renderer (:mod:`repro.scenarios.report`): initiators become parameter
+triples, matching statistics become their four counts, graphs their
+sizes, figure-statistic bundles per-series summaries, and mappings of
+scalars pass through as-is (the ``graph_comparison`` measurement family
+already returns metric rows).
+
+Values keep their numeric type (ints stay ints, floats stay floats) so
+"bit-identical metrics" survives the JSON round trip exactly; an
+unsupported result type raises :class:`~repro.errors.ValidationError`
+instead of silently dropping data from the record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.graph import Graph
+from repro.kronecker.initiator import Initiator
+from repro.stats.counts import MatchingStatistics
+
+__all__ = ["trial_metrics"]
+
+
+def _number(value: Any):
+    """Coerce to a plain int or float (JSON-stable, type-preserving)."""
+    if isinstance(value, (bool, np.bool_)):
+        return int(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    raise ValidationError(
+        f"metric values must be numbers, got {type(value).__qualname__}"
+    )
+
+
+def trial_metrics(result: Any) -> dict[str, Any]:
+    """The flat metric row of one trial result.
+
+    Supported result types (the values of the scenario ``measure`` axis):
+
+    * mappings of scalars — passed through, keys sorted (the
+      ``graph_comparison`` family),
+    * :class:`~repro.kronecker.initiator.Initiator` — ``a``/``b``/``c``,
+    * :class:`~repro.stats.counts.MatchingStatistics` — the four counts,
+    * :class:`~repro.graphs.graph.Graph` — ``n_nodes``/``n_edges``,
+    * figure-statistics bundles (anything exposing a ``series`` mapping
+      of label → (xs, ys) curves, i.e.
+      :class:`~repro.evaluation.figures.GraphStatistics`) — per-series
+      point count, sum, and mean (deterministic float64 reductions, so
+      two bit-identical runs produce bit-identical tables),
+    * plain numbers — a single ``value`` metric,
+    * fitted results exposing an ``initiator`` — the triple (plus
+      ``log_likelihood`` where present).
+    """
+    if isinstance(result, Mapping):
+        return {str(key): _number(result[key]) for key in sorted(result)}
+    if isinstance(result, Initiator):
+        return {"a": float(result.a), "b": float(result.b), "c": float(result.c)}
+    if isinstance(result, MatchingStatistics):
+        edges, hairpins, tripins, triangles = tuple(result)
+        return {
+            "edges": _number(edges),
+            "hairpins": _number(hairpins),
+            "tripins": _number(tripins),
+            "triangles": _number(triangles),
+        }
+    if isinstance(result, Graph):
+        return {"n_nodes": int(result.n_nodes), "n_edges": int(result.n_edges)}
+    if isinstance(result, (bool, int, float, np.integer, np.floating, np.bool_)):
+        return {"value": _number(result)}
+    series = getattr(result, "series", None)
+    if isinstance(series, Mapping):
+        metrics: dict[str, Any] = {}
+        for name in sorted(series):
+            ys = np.asarray(series[name].ys, dtype=np.float64)
+            metrics[f"{name}.points"] = int(ys.size)
+            metrics[f"{name}.y_sum"] = float(ys.sum()) if ys.size else 0.0
+            metrics[f"{name}.y_mean"] = float(ys.mean()) if ys.size else 0.0
+        return metrics
+    initiator = getattr(result, "initiator", None)
+    if isinstance(initiator, Initiator):
+        metrics = trial_metrics(initiator)
+        log_likelihood = getattr(result, "log_likelihood", None)
+        if isinstance(log_likelihood, (int, float, np.integer, np.floating)):
+            metrics["log_likelihood"] = float(log_likelihood)
+        return metrics
+    raise ValidationError(
+        f"no metric extraction registered for trial results of type "
+        f"{type(result).__qualname__}; return a mapping of scalars from the "
+        f"measurement, or extend repro.tracking.metrics.trial_metrics"
+    )

@@ -1,0 +1,180 @@
+"""The PR 6 measurement family and presets: graph_comparison scoring,
+the baseline-scoring preset, and the figures computation preset."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.evaluation.experiments import ExperimentConfig
+from repro.graphs.datasets import load_dataset
+from repro.scenarios import (
+    EstimatorSpec,
+    ScenarioSpec,
+    available_measures,
+    available_scenarios,
+    baseline_comparison_scenarios,
+    baseline_scoring_scenarios,
+    build_scenarios,
+    compile_scenario,
+    figure_scenarios,
+    fixed_seeds,
+    run_scenarios,
+)
+from repro.scenarios.measures import measure_graph_comparison
+from repro.stats.assortativity import degree_assortativity
+from repro.stats.clustering import average_clustering
+from repro.stats.comparison import ks_distance, statistics_relative_errors
+from repro.stats.counts import matching_statistics
+
+DATASET = "synthetic-kronecker"  # the smallest registered dataset
+
+METRIC_KEYS = {
+    "degree_ks",
+    "edges_rel_err",
+    "hairpins_rel_err",
+    "tripins_rel_err",
+    "triangles_rel_err",
+    "avg_clustering",
+    "degree_assortativity",
+    "n_nodes",
+    "n_edges",
+}
+
+
+class TestGraphComparisonMeasure:
+    def test_registered(self):
+        assert "graph_comparison" in available_measures()
+
+    def test_requires_a_workload_graph(self):
+        scenario = ScenarioSpec(
+            name="no-workload",
+            workload=None,
+            estimator=EstimatorSpec.create("Fixed", a=0.9, b=0.5, c=0.2, k=4),
+            ensemble_size=1,
+            seed_policy=fixed_seeds(0),
+            measure="graph_comparison",
+        )
+        with pytest.raises(ValidationError, match="workload graph"):
+            run_scenarios([scenario])
+
+    def test_metrics_match_hand_computation(self):
+        scenario = ScenarioSpec(
+            name="score",
+            workload=DATASET,
+            estimator=EstimatorSpec.create("KronMom"),
+            ensemble_size=1,
+            seed_policy=fixed_seeds(0),
+            measure="graph_comparison",
+            measure_params=(("sample_seed", 1),),
+        )
+        (report,) = run_scenarios([scenario])
+        row = report.results[0]
+        assert set(row) == METRIC_KEYS
+
+        graph = load_dataset(DATASET)
+        from repro.core.protocols import build_estimator
+
+        model = build_estimator(
+            "KronMom", (), seed=np.random.default_rng(0)
+        ).fit(graph)
+        synthetic = model.sample_graph(seed=1)
+        errors = statistics_relative_errors(
+            matching_statistics(synthetic), matching_statistics(graph)
+        )
+        assert row["degree_ks"] == ks_distance(
+            graph.degrees[graph.degrees > 0],
+            synthetic.degrees[synthetic.degrees > 0],
+        )
+        assert row["edges_rel_err"] == errors["edges"]
+        assert row["triangles_rel_err"] == errors["triangles"]
+        assert row["avg_clustering"] == float(average_clustering(synthetic))
+        assert row["degree_assortativity"] == float(
+            degree_assortativity(synthetic)
+        )
+        assert row["n_edges"] == float(synthetic.n_edges)
+
+    def test_measure_consumes_the_stream_like_sample_graph(self):
+        """Without a pinned sample_seed the synthetic draw must come from
+        the trial stream, exactly like measure_sample_graph."""
+        from repro.core.protocols import FixedInitiatorEstimator
+
+        graph = load_dataset(DATASET)
+        model = FixedInitiatorEstimator(a=0.9, b=0.5, c=0.2, k=8).fit(None)
+        scored = measure_graph_comparison(
+            np.random.default_rng(42), model, graph
+        )
+        expected = model.sample_graph(seed=np.random.default_rng(42))
+        assert scored["n_edges"] == float(expected.n_edges)
+
+
+class TestBaselineScoringPreset:
+    def test_registered(self):
+        assert "baseline-scoring" in available_scenarios()
+
+    def test_cells_mirror_baseline_comparison(self):
+        scoring = baseline_scoring_scenarios()
+        comparison = baseline_comparison_scenarios()
+        assert [s.name for s in scoring] == [
+            "baseline-scoring:skg-private",
+            "baseline-scoring:dp-degree",
+        ]
+        for scored, sampled in zip(scoring, comparison):
+            assert scored.measure == "graph_comparison"
+            # Identical synthesis: same estimator, budget, seeds, and the
+            # pinned sample_seed — only the measurement differs.
+            assert scored.estimator == sampled.estimator
+            assert scored.epsilon == sampled.epsilon
+            assert scored.delta == sampled.delta
+            assert scored.seed_policy == sampled.seed_policy
+            assert scored.measure_params == sampled.measure_params
+
+    def test_scored_metrics_equal_hand_scores_of_sampled_graphs(self):
+        """The preset's metric rows must equal scoring the
+        baseline-comparison preset's (bit-identical) sampled graphs."""
+        graph = load_dataset("ca-grqc")
+        original = matching_statistics(graph)
+        sampled_reports = run_scenarios(baseline_comparison_scenarios())
+        scored_reports = run_scenarios(baseline_scoring_scenarios())
+        for sampled, scored in zip(sampled_reports, scored_reports):
+            synthetic = sampled.results[0]
+            row = scored.results[0]
+            errors = statistics_relative_errors(
+                matching_statistics(synthetic), original
+            )
+            assert row["edges_rel_err"] == errors["edges"]
+            assert row["triangles_rel_err"] == errors["triangles"]
+            assert row["degree_ks"] == ks_distance(
+                graph.degrees[graph.degrees > 0],
+                synthetic.degrees[synthetic.degrees > 0],
+            )
+            assert row["n_edges"] == float(synthetic.n_edges)
+
+
+class TestFiguresPreset:
+    CONFIG = ExperimentConfig(kronfit_iterations=2)
+
+    def test_registered_and_shaped(self):
+        assert "figures" in available_scenarios()
+        scenarios = build_scenarios("figures", self.CONFIG)
+        # 4 figure datasets x 3 estimator methods, one realization each.
+        assert len(scenarios) == 12
+        assert all(s.measure == "graph_statistics" for s in scenarios)
+        assert all(s.ensemble_size == 1 for s in scenarios)
+        names = [s.name for s in scenarios]
+        assert "figures:f1:ca-grqc:KronFit" in names
+        assert "figures:f4:synthetic-kronecker:Private" in names
+
+    def test_scenarios_compile(self):
+        for scenario in figure_scenarios(self.CONFIG):
+            specs = compile_scenario(scenario)
+            assert len(specs) == 1
+            assert specs[0].seed is not None
+
+    def test_seed_policies_are_reproducible(self):
+        first = figure_scenarios(self.CONFIG)
+        second = figure_scenarios(dataclasses.replace(self.CONFIG))
+        assert [s.seed_policy for s in first] == [s.seed_policy for s in second]

@@ -31,6 +31,18 @@ class TestFusedShimDeprecation:
         assert shim._STATES is COUNTING_KERNEL.states
         assert shim.FUSED_BACKENDS == FUSED_BACKENDS
 
+    def test_removal_note_names_pr7(self):
+        """The warning and the module docstring must keep stating the
+        agreed removal horizon (PR 7) until the shim is actually deleted
+        — a silent horizon edit would strand external migrators."""
+        with pytest.warns(DeprecationWarning, match="removed in PR 7") as caught:
+            shim = fresh_import()
+        assert any(
+            "repro.native.counting" in str(warning.message) for warning in caught
+        ), "the warning must name the replacement module"
+        assert "PR 7" in shim.__doc__
+        assert "repro.native.counting" in shim.__doc__
+
     def test_nothing_in_the_package_imports_the_shim(self):
         """The tier-1 suite must not trip the warning transitively."""
         for name in list(sys.modules):

@@ -24,6 +24,7 @@ OUT_DIR = BENCH_DIR / "out"
 ARTIFACT_SCRIPTS = {
     "BENCH_stats.json": "bench_stats.py",
     "BENCH_kronfit.json": "bench_kronfit.py",
+    "BENCH_trajectory.json": "bench_trajectory.py",
 }
 
 
@@ -62,6 +63,60 @@ class TestBenchArtifactSchema:
         must be the full matrix."""
         report = json.loads((OUT_DIR / artifact).read_text(encoding="utf-8"))
         assert report.get("quick") is False
+
+    def test_trajectory_rows_are_well_formed(self):
+        """The perf trajectory must carry at least one row, with the
+        headline keys, one row per commit, and recorded timestamps
+        ascending (CI appends chronologically)."""
+        trajectory = json.loads(
+            (OUT_DIR / "BENCH_trajectory.json").read_text(encoding="utf-8")
+        )
+        rows = trajectory["rows"]
+        assert rows, "the committed trajectory must not be empty"
+        for row in rows:
+            assert set(row) >= {
+                "commit",
+                "label",
+                "recorded",
+                "quick",
+                "stats",
+                "kronfit",
+            }
+            assert row["stats"]["combined_speedup"] is not None
+            assert row["kronfit"]["fit_speedup"] is not None
+        commits = [row["commit"] for row in rows]
+        assert len(commits) == len(set(commits)), "one row per commit"
+        recorded = [row["recorded"] for row in rows]
+        assert recorded == sorted(recorded), "rows sorted by recorded time"
+
+    def test_trajectory_append_replaces_same_commit(self):
+        """Re-benching a commit must update its row, not duplicate it."""
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_trajectory", BENCH_DIR / "bench_trajectory.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        def row(commit, recorded, speedup):
+            return {
+                "commit": commit,
+                "label": "",
+                "recorded": recorded,
+                "quick": True,
+                "stats": {"combined_speedup": speedup},
+                "kronfit": {"fit_speedup": speedup},
+            }
+
+        trajectory = module.fresh_trajectory()
+        trajectory = module.append_row(trajectory, row("aaa", "2026-01-01T00:00:00Z", 1.0))
+        trajectory = module.append_row(trajectory, row("bbb", "2026-01-02T00:00:00Z", 2.0))
+        trajectory = module.append_row(trajectory, row("aaa", "2026-01-03T00:00:00Z", 3.0))
+        assert [entry["commit"] for entry in trajectory["rows"]] == ["bbb", "aaa"]
+        assert trajectory["rows"][-1]["stats"]["combined_speedup"] == 3.0
+        with pytest.raises(ValueError, match="missing keys"):
+            module.append_row(trajectory, {"commit": "ccc"})
 
     def test_kronfit_artifact_records_multistart_column(self):
         """Schema 2 added the multi-start column: the committed artifact

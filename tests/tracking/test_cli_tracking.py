@@ -1,0 +1,140 @@
+"""Tier-1 acceptance: tracked CLI runs, cache attribution, `repro compare`.
+
+The PR's contract, end to end through ``main()``: running the same
+scenario grid twice with ``--track`` — once cold, once cache-resumed —
+produces two run directories whose ``repro compare`` reports
+bit-identical metrics with the correct executed/cached attribution (the
+same invariant the CI ``track-smoke`` job asserts with greps).
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.tracking import list_runs, load_run
+
+
+def run_tracked(tmp_path, capsys, *, seed="0"):
+    code = main(
+        [
+            "run-scenario",
+            "--datasets",
+            "as20",
+            "--estimators",
+            "dpdegree",
+            "--count",
+            "2",
+            "--seed",
+            seed,
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--track",
+            "--runs-dir",
+            str(tmp_path / "runs"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    match = re.search(r"run directory: (.+)", out)
+    assert match, out
+    return match.group(1).strip(), out
+
+
+@pytest.fixture(scope="class")
+def tracked_pair(tmp_path_factory):
+    """One cold and one cache-resumed tracked run of the same grid."""
+    tmp_path = tmp_path_factory.mktemp("tracked")
+    outputs = []
+    for _ in range(2):
+        code = main(
+            [
+                "run-scenario",
+                "--datasets",
+                "as20",
+                "--estimators",
+                "dpdegree",
+                "--count",
+                "2",
+                "--seed",
+                "0",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--track",
+                "--runs-dir",
+                str(tmp_path / "runs"),
+            ]
+        )
+        assert code == 0
+    paths = list_runs(tmp_path / "runs")
+    assert len(paths) == 2
+    return tmp_path, paths
+
+
+class TestTrackedRuns:
+    def test_cold_then_resumed_attribution(self, tracked_pair):
+        _tmp_path, (cold, resumed) = tracked_pair
+        record_cold = load_run(cold)
+        record_resumed = load_run(resumed)
+        assert record_cold.timing["executed"] == 2
+        assert record_cold.timing["cached"] == 0
+        assert record_resumed.timing["executed"] == 0
+        assert record_resumed.timing["cached"] == 2
+        assert record_resumed.scenarios[0]["cached_indices"] == [0, 1]
+
+    def test_compare_reports_bit_identical_metrics(self, tracked_pair, capsys):
+        _tmp_path, (cold, resumed) = tracked_pair
+        code = main(["compare", str(cold), str(resumed)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "verdict: metrics identical within tolerance 0" in out
+        assert f"cache attribution: {cold.name} 2 executed / 0 cached" in out
+        assert f"cache attribution: {resumed.name} 0 executed / 2 cached" in out
+
+    def test_compare_resolves_bare_names_via_runs_dir(self, tracked_pair, capsys):
+        tmp_path, (cold, resumed) = tracked_pair
+        code = main(
+            [
+                "compare",
+                cold.name,
+                resumed.name,
+                "--runs-dir",
+                str(tmp_path / "runs"),
+            ]
+        )
+        assert code == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_different_seed_run_drifts(self, tracked_pair, capsys):
+        tmp_path, (cold, _resumed) = tracked_pair
+        other, _out = run_tracked(tmp_path, capsys, seed="7")
+        code = main(["compare", str(cold), other])
+        out = capsys.readouterr().out
+        assert code == 1, out
+        assert "verdict: DRIFT" in out
+        assert "config delta:" in out  # the differing seed is surfaced
+
+    def test_runs_list_and_show(self, tracked_pair, capsys):
+        tmp_path, paths = tracked_pair
+        runs_dir = str(tmp_path / "runs")
+        assert main(["runs", "list", "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        for path in paths[:2]:
+            assert path.name in out
+        assert main(["runs", "list", "--runs-dir", runs_dir, "--paths"]) == 0
+        listed = capsys.readouterr().out.splitlines()
+        assert str(paths[0]) == listed[0]
+        assert main(["runs", "show", str(paths[0])]) == 0
+        shown = capsys.readouterr().out
+        assert "as20:DPDegree" in shown
+        assert "schema_version: 1" in shown
+
+    def test_unknown_run_token_fails_loudly(self, tracked_pair, capsys):
+        tmp_path, _paths = tracked_pair
+        code = main(
+            ["compare", "nope", "also-nope", "--runs-dir", str(tmp_path / "runs")]
+        )
+        assert code == 1
+        assert "neither a run directory nor a run name" in capsys.readouterr().err

@@ -1,0 +1,145 @@
+"""Comparison semantics: drift, tolerance, NaN, structure, determinism."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.tracking import RunRecord, SCHEMA_VERSION, compare_runs, render_comparison
+
+
+def make_record(metric=1.0, *, created="2026-08-08T12:00:00Z", executed=2, cached=0,
+                epsilon=0.2, scenarios=None):
+    if scenarios is None:
+        scenarios = [
+            {
+                "name": "cell",
+                "workload": None,
+                "estimator": {"method": "Fixed", "params": []},
+                "epsilon": epsilon,
+                "delta": None,
+                "ensemble_size": 2,
+                "seed_policy": {"kind": "spawn", "entropy": [1], "seeds": []},
+                "measure": "synthetic_statistics",
+                "measure_params": [],
+                "seeds": [
+                    {"kind": "seedsequence", "entropy": 1, "spawn_key": [0]},
+                    {"kind": "seedsequence", "entropy": 1, "spawn_key": [1]},
+                ],
+                "metrics": [
+                    {"edges": 10, "score": metric},
+                    {"edges": 12, "score": metric + 0.5},
+                ],
+                "executed": executed,
+                "cached": cached,
+                "cached_indices": list(range(cached)),
+            }
+        ]
+    return RunRecord(
+        schema_version=SCHEMA_VERSION,
+        created=created,
+        label="grid",
+        preset=None,
+        config={"epsilon": epsilon, "seed": 0},
+        environment={"python": "3.12.0", "cpu_count": 4},
+        timing={
+            "elapsed_seconds": 0.1,
+            "executed": executed,
+            "cached": cached,
+            "n_jobs": 1,
+        },
+        scenarios=scenarios,
+    )
+
+
+class TestCompareRuns:
+    def test_identical_records_have_no_drift(self):
+        comparison = compare_runs(make_record(), make_record())
+        assert not comparison.has_drift
+        assert comparison.drifted == []
+        assert comparison.config_delta == {}
+        assert len(comparison.drifts) == 2  # edges + score
+
+    def test_metric_drift_flagged_and_tolerance_flips_it(self):
+        a, b = make_record(1.0), make_record(1.25)
+        strict = compare_runs(a, b)
+        assert strict.has_drift
+        assert {d.metric for d in strict.drifted} == {"score"}
+        assert strict.drifted[0].max_abs_diff == pytest.approx(0.25)
+        lenient = compare_runs(a, b, tolerance=0.25)
+        assert not lenient.has_drift
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            compare_runs(make_record(), make_record(), tolerance=-1)
+
+    def test_config_delta_is_informational_not_drift(self):
+        comparison = compare_runs(make_record(epsilon=0.2), make_record(epsilon=0.5))
+        assert comparison.config_delta["epsilon"] == (0.2, 0.5)
+        # Metrics are equal, so a differing knob alone is not drift.
+        assert not comparison.has_drift
+
+    def test_missing_scenario_is_structure_mismatch(self):
+        b = make_record()
+        b.scenarios[0] = {**b.scenarios[0], "name": "renamed"}
+        comparison = compare_runs(make_record(), b, name_a="left", name_b="right")
+        assert comparison.has_drift
+        assert any("only in left" in m for m in comparison.structure_mismatches)
+        assert any("only in right" in m for m in comparison.structure_mismatches)
+
+    def test_trial_count_mismatch(self):
+        b = make_record()
+        b.scenarios[0] = {
+            **b.scenarios[0],
+            "metrics": b.scenarios[0]["metrics"][:1],
+        }
+        comparison = compare_runs(make_record(), b)
+        assert any("trials" in m for m in comparison.structure_mismatches)
+
+    def test_metric_key_mismatch(self):
+        b = make_record()
+        b.scenarios[0] = {
+            **b.scenarios[0],
+            "metrics": [{"edges": 10, "other": 1.0}, {"edges": 12, "other": 1.5}],
+        }
+        comparison = compare_runs(make_record(), b)
+        assert any("metric keys differ" in m for m in comparison.structure_mismatches)
+
+    def test_nan_semantics(self):
+        nan = float("nan")
+        both = compare_runs(make_record(nan), make_record(nan))
+        assert not both.has_drift
+        one = compare_runs(make_record(nan), make_record(1.0))
+        assert one.has_drift
+        assert one.drifted[0].max_abs_diff == float("inf")
+
+    def test_cache_attribution(self):
+        comparison = compare_runs(
+            make_record(executed=2, cached=0),
+            make_record(executed=0, cached=2),
+            name_a="cold",
+            name_b="resumed",
+        )
+        assert comparison.cache["cold"] == {"executed": 2, "cached": 0}
+        assert comparison.cache["resumed"] == {"executed": 0, "cached": 2}
+
+
+class TestRender:
+    def test_render_is_deterministic(self):
+        a, b = make_record(), make_record(1.5)
+        first = render_comparison(compare_runs(a, b))
+        second = render_comparison(
+            compare_runs(copy.deepcopy(a), copy.deepcopy(b))
+        )
+        assert first == second
+
+    def test_render_verdicts_and_attribution(self):
+        clean = render_comparison(
+            compare_runs(make_record(), make_record(), name_a="x", name_b="y")
+        )
+        assert "verdict: metrics identical within tolerance 0" in clean
+        assert "cache attribution: x 2 executed / 0 cached" in clean
+        drifted = render_comparison(compare_runs(make_record(), make_record(9.0)))
+        assert "verdict: DRIFT" in drifted
+        assert "score" in drifted
