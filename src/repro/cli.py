@@ -280,6 +280,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the scenario report here"
     )
     scenario_parser.add_argument(
+        "--on-error",
+        choices=["raise", "collect"],
+        default=None,
+        dest="on_error",
+        help=(
+            "failure policy once a trial's retries are exhausted: raise "
+            "(default) aborts the grid, collect records the failure and "
+            "keeps the surviving trials (see REPRO_TRIAL_RETRIES / "
+            "REPRO_TRIAL_TIMEOUT)"
+        ),
+    )
+    scenario_parser.add_argument(
         "--track",
         action="store_true",
         help=(
@@ -651,14 +663,25 @@ def _cmd_run_scenario(arguments: argparse.Namespace) -> int:
         # The flag wins; otherwise honour REPRO_CACHE_DIR like the rest
         # of the evaluation harness.
         cache=arguments.cache_dir or config.trial_cache,
+        on_error=arguments.on_error,
     )
     text = render_scenario_reports(reports, title=title)
     executed = sum(report.report.executed for report in reports)
     cached = sum(report.report.cached for report in reports)
+    failed = sum(report.report.failed for report in reports)
+    retried = sum(report.report.retried for report in reports)
+    pool_restarts = max(
+        (report.report.pool_restarts for report in reports), default=0
+    )
     footer = (
         f"{len(reports)} scenario(s), {executed} trial(s) executed, "
         f"{cached} from cache"
     )
+    if failed or retried or pool_restarts:
+        footer += (
+            f"\nfault recovery: {failed} trial(s) failed, {retried} retried, "
+            f"{pool_restarts} pool restart(s)"
+        )
     print(text)
     print(footer)
     if arguments.out:
@@ -750,6 +773,15 @@ def _cmd_runs(arguments: argparse.Namespace) -> int:
         f"n_jobs={record.timing['n_jobs']}, "
         f"{record.timing['elapsed_seconds']:.2f}s"
     )
+    failed = record.timing.get("failed", 0)
+    retried = record.timing.get("retried", 0)
+    pool_restarts = record.timing.get("pool_restarts", 0)
+    if failed or retried or pool_restarts:
+        print(
+            "  fault recovery: "
+            f"{failed} failed / {retried} retried / "
+            f"{pool_restarts} pool restart(s)"
+        )
     print("  environment:")
     for key in sorted(record.environment):
         print(f"    {key}: {record.environment[key]}")
@@ -757,7 +789,8 @@ def _cmd_runs(arguments: argparse.Namespace) -> int:
     for key in sorted(record.config):
         print(f"    {key}: {record.config[key]}")
     table = TextTable(
-        ["scenario", "estimator", "trials", "executed", "cached", "metrics"],
+        ["scenario", "estimator", "trials", "executed", "cached", "failed",
+         "metrics"],
         title="Scenarios",
     )
     for scenario in record.scenarios:
@@ -771,6 +804,7 @@ def _cmd_runs(arguments: argparse.Namespace) -> int:
                 scenario["ensemble_size"],
                 scenario["executed"],
                 scenario["cached"],
+                scenario.get("failed", 0),
                 ", ".join(metric_names) if metric_names else "-",
             ]
         )

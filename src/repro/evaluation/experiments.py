@@ -102,8 +102,10 @@ def _env_int(name: str, fallback: int) -> int:
         return fallback
     try:
         return int(raw)
-    except ValueError:
-        raise ValueError(f"environment variable {name} must be an integer, got {raw!r}")
+    except ValueError as exc:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from exc
 
 
 def _env_choice(name: str, fallback: str, choices: tuple[str, ...]) -> str:
@@ -123,8 +125,10 @@ def _env_float(name: str, fallback: float) -> float:
         return fallback
     try:
         return float(raw)
-    except ValueError:
-        raise ValueError(f"environment variable {name} must be a number, got {raw!r}")
+    except ValueError as exc:
+        raise ValueError(
+            f"environment variable {name} must be a number, got {raw!r}"
+        ) from exc
 
 
 def default_config() -> ExperimentConfig:

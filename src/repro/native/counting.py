@@ -26,9 +26,9 @@ cross-backend equivalence suite (``tests/stats/test_backend_equivalence.py``)
 enforces this for every block size and graph family.
 
 Backend selection goes through
-:func:`repro.stats.kernels.resolve_kernel_backend`;
-``repro.stats._fused`` re-exports this module's surface under the PR 3
-names.
+:func:`repro.stats.kernels.resolve_kernel_backend`.  (The PR 3-era
+``repro.stats._fused`` shim that re-exported this surface was removed in
+PR 7 — import from here.)
 """
 
 from __future__ import annotations

@@ -26,8 +26,7 @@ native kernel in the package:
   engine (``scipy`` for the counting pass, ``numpy`` for the chain).
 
 Concrete kernels live next door: :mod:`repro.native.counting` and
-:mod:`repro.native.chain`.  ``repro.stats._fused`` re-exports the
-counting surface so the PR 3 API keeps working.
+:mod:`repro.native.chain`.
 """
 
 from __future__ import annotations
@@ -155,11 +154,11 @@ class NativeKernel:
         """Jit the Python loop nest and warm it on the smoke instance."""
         try:
             import numba
-        except ImportError:
+        except ImportError as exc:
             raise RuntimeError(
                 "numba is not installed (pip install numba, or the "
                 "'accel' extra of this package)"
-            )
+            ) from exc
         # cache=True persists the compiled kernel next to its module, so
         # new processes (CLI runs, pool workers under spawn) skip the
         # multi-second JIT; an unwritable cache location degrades to a

@@ -1,4 +1,4 @@
-"""repro.runtime — the parallel, cached trial-execution engine.
+"""repro.runtime — the parallel, cached, fault-tolerant trial engine.
 
 Every repeated-trial ensemble in the reproduction (the "Expected" series
 behind Figures 1–4, Table 1's twelve fits, the ε-ablation sweeps, the
@@ -12,13 +12,25 @@ such lists through one engine:
   root seed via ``SeedSequence.spawn``, and memoizes completed trials in a
   :class:`TrialCache`;
 * :class:`TrialRunReport` — the ordered results plus executed/cached
-  counts and timing.
+  counts, failed/retried/pool-restart attribution, and timing;
+* :class:`TrialFailure` — the structured stand-in a permanently failed
+  trial leaves in the results under the ``on_error="collect"`` policy.
 
 Parallel runs reuse one **persistent worker pool** across calls (and
 across the blocked counting passes that fan through the same engine), so
 consecutive ensembles pay the worker start-up cost once;
 :func:`shutdown_pool` releases it, and ``pool="ephemeral"`` /
 ``REPRO_POOL=ephemeral`` restores per-call executors.
+
+The engine is fault-tolerant without giving up bit-identity: bounded
+retries with deterministic backoff (``REPRO_TRIAL_RETRIES``,
+``REPRO_TRIAL_BACKOFF``), an optional per-attempt timeout
+(``REPRO_TRIAL_TIMEOUT``), and self-healing pool rebuilds
+(``REPRO_POOL_RESTARTS``) all re-derive the same ``(root seed, index)``
+streams, so a run with transient faults matches a clean run bit for bit.
+Every recovery path is exercisable deterministically through the
+fault-injection harness (:mod:`repro.runtime.faults`,
+``REPRO_FAULT_INJECT``).
 
 The ``REPRO_N_JOBS``, ``REPRO_CACHE_DIR``, and ``REPRO_POOL`` environment
 knobs (see :mod:`repro.evaluation.experiments`) wire the engine into
@@ -27,31 +39,74 @@ every bench and the ``repro run-ensemble`` CLI subcommand.
 
 from repro.runtime.cache import TrialCache
 from repro.runtime.engine import (
+    ON_ERROR_POLICIES,
     POOL_MODE_ENV,
     POOL_MODES,
+    POOL_RESTARTS_ENV,
+    TRIAL_BACKOFF_ENV,
+    TRIAL_RETRIES_ENV,
+    TRIAL_TIMEOUT_ENV,
+    TrialTimeoutError,
     persistent_executor,
     pool_worker_pids,
     resolve_n_jobs,
+    resolve_on_error,
     resolve_pool_mode,
+    resolve_pool_restarts,
+    resolve_retry_backoff,
+    resolve_trial_retries,
+    resolve_trial_timeout,
     run_trials,
     shutdown_pool,
 )
+from repro.runtime.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_INJECT_ENV,
+    FAULT_KINDS,
+    FaultClause,
+    FaultPlan,
+    InjectedFault,
+    TrialFaults,
+    parse_fault_plan,
+    resolve_fault_plan,
+)
 from repro.runtime.hashing import code_fingerprint, stable_hash, trial_key
-from repro.runtime.spec import TrialRunReport, TrialSeed, TrialSpec
+from repro.runtime.spec import TrialFailure, TrialRunReport, TrialSeed, TrialSpec
 
 __all__ = [
     "TrialSpec",
     "TrialRunReport",
     "TrialSeed",
+    "TrialFailure",
     "TrialCache",
     "run_trials",
     "resolve_n_jobs",
     "resolve_pool_mode",
+    "resolve_on_error",
+    "resolve_trial_retries",
+    "resolve_trial_timeout",
+    "resolve_retry_backoff",
+    "resolve_pool_restarts",
     "persistent_executor",
     "shutdown_pool",
     "pool_worker_pids",
+    "TrialTimeoutError",
     "POOL_MODE_ENV",
     "POOL_MODES",
+    "ON_ERROR_POLICIES",
+    "TRIAL_RETRIES_ENV",
+    "TRIAL_TIMEOUT_ENV",
+    "TRIAL_BACKOFF_ENV",
+    "POOL_RESTARTS_ENV",
+    "FAULT_INJECT_ENV",
+    "FAULT_KINDS",
+    "CRASH_EXIT_CODE",
+    "InjectedFault",
+    "TrialFaults",
+    "FaultClause",
+    "FaultPlan",
+    "parse_fault_plan",
+    "resolve_fault_plan",
     "stable_hash",
     "code_fingerprint",
     "trial_key",

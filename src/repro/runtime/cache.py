@@ -4,9 +4,11 @@ The cache is a directory of pickle files, fanned out over 256 two-hex
 subdirectories, keyed by :func:`repro.runtime.hashing.trial_key`.  Writes
 go through a temporary file and :func:`os.replace`, so a crashed or
 interrupted run never leaves a truncated entry behind — an interrupted
-ensemble simply resumes from the trials that completed.  Corrupt or
-unreadable entries are treated as misses and overwritten on the next
-store.
+ensemble simply resumes from the trials that completed.  A corrupt or
+unreadable entry is treated as a miss: it is quarantined in place (renamed
+to ``<key>.pkl.corrupt``, with a warning naming the file) so the bad bytes
+stay available for a post-mortem while the trial transparently
+re-executes and overwrites the slot.
 
 Results are arbitrary picklable Python objects.  As with any pickle-based
 store, only load caches you produced yourself (the same trust boundary as
@@ -21,7 +23,16 @@ import tempfile
 from pathlib import Path
 from typing import Any, Tuple
 
+from repro.utils.logging import get_logger
+
 __all__ = ["TrialCache"]
+
+_logger = get_logger(__name__)
+
+# A quarantined (corrupt) entry is the original file renamed with this
+# suffix; __len__ counts only healthy *.pkl entries, so quarantine is
+# invisible to the hit/miss accounting.
+CORRUPT_SUFFIX = ".corrupt"
 
 
 class TrialCache:
@@ -48,7 +59,10 @@ class TrialCache:
         """``(True, result)`` on a hit, ``(False, None)`` on a miss.
 
         A present-but-unreadable entry (truncated file, incompatible
-        pickle) counts as a miss.
+        pickle) counts as a miss: the bad file is quarantined as
+        ``<name>.pkl.corrupt`` (kept for post-mortems, overwritten if the
+        same entry corrupts again) and a warning is logged, then the
+        caller re-executes the trial and re-stores the slot.
         """
         path = self.path_for(key)
         try:
@@ -57,8 +71,27 @@ class TrialCache:
         except FileNotFoundError:
             return False, None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError, ValueError):
+                ImportError, IndexError, ValueError) as exc:
+            self._quarantine(path, exc)
             return False, None
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        quarantined = path.with_name(path.name + CORRUPT_SUFFIX)
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            # Already gone (raced with another process) or unmovable;
+            # either way the entry stays a miss.
+            _logger.warning(
+                "corrupt cache entry %s (%s: %s); treating as a miss",
+                path, type(exc).__name__, exc,
+            )
+            return
+        _logger.warning(
+            "corrupt cache entry %s (%s: %s); quarantined as %s and "
+            "treating as a miss (the trial will re-execute)",
+            path, type(exc).__name__, exc, quarantined.name,
+        )
 
     def store(self, key: str, result: Any) -> None:
         """Persist ``result`` under ``key`` atomically (write + rename)."""

@@ -1,22 +1,38 @@
-"""The parallel trial-execution engine.
+"""The parallel, fault-tolerant trial-execution engine.
 
 :func:`run_trials` fans a list of :class:`~repro.runtime.spec.TrialSpec`
 across a :class:`concurrent.futures.ProcessPoolExecutor` (or runs them
-in-process when ``n_jobs=1``), with three guarantees:
+in-process when ``n_jobs=1``), with four guarantees:
 
 * **Determinism** — per-trial RNG streams are derived from the root seed
   with :meth:`numpy.random.SeedSequence.spawn`, indexed by trial position.
   A trial's stream depends only on ``(root seed, index)`` — never on which
-  worker ran it or in what order — so ensemble results are bit-identical
-  for any ``n_jobs``.
+  worker ran it, in what order, or on which attempt — so ensemble results
+  are bit-identical for any ``n_jobs`` *and under transient faults*: a
+  retried or resubmitted trial re-derives exactly the stream a clean run
+  would have used.
 * **Memoization** — with a cache directory configured, completed trials
   are persisted keyed by a stable hash of (function qualname + source
   fingerprint, params, trial index, effective seed); a rerun executes only
   the missing trials, which makes interrupted ensembles resumable.
+* **Fault tolerance** — each trial gets bounded retries with
+  deterministic exponential backoff (``REPRO_TRIAL_RETRIES``,
+  ``REPRO_TRIAL_BACKOFF``) and an optional per-attempt timeout
+  (``REPRO_TRIAL_TIMEOUT``), applied identically on the serial and pool
+  paths.  The per-trial **failure policy** decides what a permanently
+  failed trial does: ``on_error="raise"`` (the default) aborts the
+  ensemble with the original exception; ``on_error="collect"`` records a
+  structured :class:`~repro.runtime.spec.TrialFailure` at the trial's
+  position and keeps going.  A broken worker pool
+  (:class:`~concurrent.futures.process.BrokenProcessPool`, e.g. an
+  OOM-killed worker) **self-heals**: the executor is rebuilt and only the
+  lost in-flight trials are resubmitted — completed results and cache
+  hits are kept — within a bounded restart budget
+  (``REPRO_POOL_RESTARTS``) before the breakage surfaces as a hard error.
 * **Observability** — the returned
   :class:`~repro.runtime.spec.TrialRunReport` carries the executed/cached
-  split and wall-clock timing, and progress is logged through
-  :mod:`repro.utils.logging`.
+  split, the failed/retried/pool-restart attribution, and wall-clock
+  timing, and progress is logged through :mod:`repro.utils.logging`.
 
 Worker count resolution: an explicit ``n_jobs`` argument wins, then the
 ``REPRO_N_JOBS`` environment variable, then the serial default of 1.
@@ -37,6 +53,12 @@ touches any pool, and results are bit-identical either way — per-trial
 seeds depend only on (root seed, index), never on which worker ran what.
 Workers inherit the parent's state (environment, loaded modules) at pool
 creation time, not per call.
+
+Every recovery path above is exercisable deterministically through the
+fault-injection harness (:mod:`repro.runtime.faults`,
+``REPRO_FAULT_INJECT``): injected trial errors, worker crashes, and slow
+trials are threaded into the task payloads — never the environment — so
+chaos runs behave identically at any worker count.
 """
 
 from __future__ import annotations
@@ -44,15 +66,28 @@ from __future__ import annotations
 import atexit
 import concurrent.futures
 import os
+from concurrent.futures.process import BrokenProcessPool
+import threading
 import time
-from typing import Any, Iterable, Sequence
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.runtime.cache import TrialCache
+from repro.runtime.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_INJECT_ENV,
+    FaultPlan,
+    InjectedFault,
+    NO_FAULTS,
+    TrialFaults,
+    resolve_fault_plan,
+)
 from repro.runtime.hashing import trial_key
-from repro.runtime.spec import TrialRunReport, TrialSpec
+from repro.runtime.spec import TrialFailure, TrialRunReport, TrialSpec
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_integer
 
@@ -60,11 +95,22 @@ __all__ = [
     "run_trials",
     "resolve_n_jobs",
     "resolve_pool_mode",
+    "resolve_on_error",
+    "resolve_trial_retries",
+    "resolve_trial_timeout",
+    "resolve_retry_backoff",
+    "resolve_pool_restarts",
     "persistent_executor",
     "shutdown_pool",
     "pool_worker_pids",
+    "TrialTimeoutError",
     "POOL_MODE_ENV",
     "POOL_MODES",
+    "ON_ERROR_POLICIES",
+    "TRIAL_RETRIES_ENV",
+    "TRIAL_TIMEOUT_ENV",
+    "TRIAL_BACKOFF_ENV",
+    "POOL_RESTARTS_ENV",
 ]
 
 _logger = get_logger(__name__)
@@ -72,11 +118,31 @@ _logger = get_logger(__name__)
 POOL_MODE_ENV = "REPRO_POOL"
 POOL_MODES = ("persistent", "ephemeral")
 
+ON_ERROR_POLICIES = ("raise", "collect")
+TRIAL_RETRIES_ENV = "REPRO_TRIAL_RETRIES"
+TRIAL_TIMEOUT_ENV = "REPRO_TRIAL_TIMEOUT"
+TRIAL_BACKOFF_ENV = "REPRO_TRIAL_BACKOFF"
+POOL_RESTARTS_ENV = "REPRO_POOL_RESTARTS"
+
+# Deterministic retry pacing: attempt N sleeps BACKOFF * 2**(N-1) seconds
+# (no jitter — two chaos runs with the same faults back off identically),
+# capped so a deep retry budget cannot stall a worker for minutes.
+DEFAULT_RETRY_BACKOFF = 0.05
+MAX_RETRY_BACKOFF = 5.0
+
+# How many times a broken pool is rebuilt within one run_trials call
+# before the BrokenProcessPool surfaces to the caller.
+DEFAULT_POOL_RESTARTS = 2
+
 # The process-wide persistent executor: the pool itself, the worker count
 # it was created for, and whether the atexit hook is installed.
 _pool: concurrent.futures.ProcessPoolExecutor | None = None
 _pool_workers = 0
 _atexit_registered = False
+
+
+class TrialTimeoutError(RuntimeError):
+    """An attempt exceeded the per-trial timeout (retryable)."""
 
 
 def resolve_pool_mode(mode: str | None = None) -> str:
@@ -99,6 +165,114 @@ def resolve_pool_mode(mode: str | None = None) -> str:
             f"{', '.join(POOL_MODES)}, got {mode!r}"
         )
     return mode
+
+
+def resolve_on_error(on_error: str | None = None) -> str:
+    """Resolve the failure policy: argument, else the ``raise`` default.
+
+    ``raise`` aborts the ensemble on the first permanently failed trial
+    (the original exception propagates); ``collect`` records failures as
+    :class:`~repro.runtime.spec.TrialFailure` results and keeps going.
+    The policy is an API/CLI choice, not an environment knob — silently
+    swallowing failures because of an inherited variable would be a
+    footgun.
+    """
+    if on_error is None:
+        return "raise"
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValidationError(
+            f"on_error must be one of {', '.join(ON_ERROR_POLICIES)}, "
+            f"got {on_error!r}"
+        )
+    return on_error
+
+
+def resolve_trial_retries(retries: int | None = None) -> int:
+    """Resolve the per-trial retry budget: argument, then
+    ``REPRO_TRIAL_RETRIES``, then 0 (a trial runs exactly once)."""
+    if retries is None:
+        raw = os.environ.get(TRIAL_RETRIES_ENV)
+        if raw is None or raw == "":
+            return 0
+        try:
+            retries = int(raw)
+        except ValueError as exc:
+            raise ValidationError(
+                f"environment variable {TRIAL_RETRIES_ENV} must be an "
+                f"integer, got {raw!r}"
+            ) from exc
+    return check_integer(retries, "retries", minimum=0)
+
+
+def resolve_trial_timeout(timeout: float | None = None) -> float | None:
+    """Resolve the per-attempt timeout in seconds: argument, then
+    ``REPRO_TRIAL_TIMEOUT``, then ``None`` (no timeout)."""
+    if timeout is None:
+        raw = os.environ.get(TRIAL_TIMEOUT_ENV)
+        if raw is None or raw == "":
+            return None
+        try:
+            timeout = float(raw)
+        except ValueError as exc:
+            raise ValidationError(
+                f"environment variable {TRIAL_TIMEOUT_ENV} must be a "
+                f"number of seconds, got {raw!r}"
+            ) from exc
+    timeout = float(timeout)
+    if not timeout > 0:
+        raise ValidationError(f"trial timeout must be positive, got {timeout}")
+    return timeout
+
+
+def resolve_retry_backoff(backoff: float | None = None) -> float:
+    """Resolve the base backoff delay: argument, then
+    ``REPRO_TRIAL_BACKOFF``, then {default}s.  Deterministic (no jitter);
+    attempt N waits ``backoff * 2**(N-1)``, capped at {cap}s.  0 disables
+    the wait (useful in tests).
+    """
+    if backoff is None:
+        raw = os.environ.get(TRIAL_BACKOFF_ENV)
+        if raw is None or raw == "":
+            return DEFAULT_RETRY_BACKOFF
+        try:
+            backoff = float(raw)
+        except ValueError as exc:
+            raise ValidationError(
+                f"environment variable {TRIAL_BACKOFF_ENV} must be a "
+                f"number of seconds, got {raw!r}"
+            ) from exc
+    backoff = float(backoff)
+    if backoff < 0:
+        raise ValidationError(f"retry backoff must be >= 0, got {backoff}")
+    return backoff
+
+
+resolve_retry_backoff.__doc__ = resolve_retry_backoff.__doc__.format(
+    default=DEFAULT_RETRY_BACKOFF, cap=MAX_RETRY_BACKOFF
+)
+
+
+def resolve_pool_restarts(restarts: int | None = None) -> int:
+    """Resolve the pool-restart budget: argument, then
+    ``REPRO_POOL_RESTARTS``, then {default}.  0 disables self-healing
+    (the first broken pool surfaces immediately)."""
+    if restarts is None:
+        raw = os.environ.get(POOL_RESTARTS_ENV)
+        if raw is None or raw == "":
+            return DEFAULT_POOL_RESTARTS
+        try:
+            restarts = int(raw)
+        except ValueError as exc:
+            raise ValidationError(
+                f"environment variable {POOL_RESTARTS_ENV} must be an "
+                f"integer, got {raw!r}"
+            ) from exc
+    return check_integer(restarts, "pool restarts", minimum=0)
+
+
+resolve_pool_restarts.__doc__ = resolve_pool_restarts.__doc__.format(
+    default=DEFAULT_POOL_RESTARTS
+)
 
 
 def persistent_executor(n_workers: int) -> concurrent.futures.ProcessPoolExecutor:
@@ -159,14 +333,42 @@ def resolve_n_jobs(n_jobs: int | None = None) -> int:
             return 1
         try:
             n_jobs = int(raw)
-        except ValueError:
+        except ValueError as exc:
             raise ValidationError(
                 f"environment variable REPRO_N_JOBS must be an integer, got {raw!r}"
-            )
+            ) from exc
     n_jobs = check_integer(n_jobs, "n_jobs")
     if n_jobs <= 0:
         return os.cpu_count() or 1
     return n_jobs
+
+
+@dataclass(frozen=True)
+class _ExecutionSettings:
+    """Per-submission execution policy, shipped inside the task payload.
+
+    Picklable and explicit: retries, timeout, backoff, the collect/raise
+    policy, this trial's injected faults, and whether *this submission*
+    should crash its worker (the parent re-decides per submission so a
+    pool rebuild never re-arms an exhausted crash fault).
+    """
+
+    retries: int = 0
+    timeout: float | None = None
+    backoff: float = DEFAULT_RETRY_BACKOFF
+    collect: bool = False
+    faults: TrialFaults = NO_FAULTS
+    crash: bool = False
+
+
+@dataclass(frozen=True)
+class _TrialOutcome:
+    """What one executed trial sends back: a value or a failure, plus the
+    attempt count (for retry attribution)."""
+
+    value: Any = None
+    failure: TrialFailure | None = None
+    attempts: int = 1
 
 
 def run_trials(
@@ -177,6 +379,12 @@ def run_trials(
     cache: TrialCache | str | os.PathLike | None = None,
     label: str = "trials",
     pool: str | None = None,
+    on_error: str | None = None,
+    retries: int | None = None,
+    timeout: float | None = None,
+    backoff: float | None = None,
+    pool_restarts: int | None = None,
+    faults: str | FaultPlan | None = None,
 ) -> TrialRunReport:
     """Execute an ensemble of trials, in parallel and with memoization.
 
@@ -205,17 +413,55 @@ def run_trials(
         fresh executor per call); see :func:`resolve_pool_mode`.
         Irrelevant when the run is serial.  Results are bit-identical
         either way.
+    on_error:
+        Failure policy once a trial's retries are exhausted: ``raise``
+        (default; the original exception aborts the ensemble) or
+        ``collect`` (a :class:`~repro.runtime.spec.TrialFailure` takes
+        the trial's place in the results and the ensemble continues).
+    retries:
+        Extra attempts per trial after the first; see
+        :func:`resolve_trial_retries` (``REPRO_TRIAL_RETRIES``, default
+        0).  Every attempt re-derives the same per-trial stream, so a
+        retried run is bit-identical to a clean one.
+    timeout:
+        Per-attempt wall-clock budget in seconds; see
+        :func:`resolve_trial_timeout` (``REPRO_TRIAL_TIMEOUT``, default
+        none).  A timed-out attempt counts as a failure (and is retried
+        if budget remains).  Enforced identically on the serial and pool
+        paths via an in-process watchdog; the abandoned attempt finishes
+        in a daemon thread whose result is discarded, so trial callables
+        should be pure (they already must be, for caching).
+    backoff:
+        Base seconds of the deterministic exponential backoff between
+        attempts; see :func:`resolve_retry_backoff`
+        (``REPRO_TRIAL_BACKOFF``).
+    pool_restarts:
+        How many broken-pool rebuilds this call may perform before
+        surfacing the breakage; see :func:`resolve_pool_restarts`
+        (``REPRO_POOL_RESTARTS``).
+    faults:
+        Deterministic fault-injection plan — a spec string, a parsed
+        :class:`~repro.runtime.faults.FaultPlan`, or ``None`` to honour
+        ``REPRO_FAULT_INJECT`` (see :mod:`repro.runtime.faults`).
 
     Returns
     -------
     TrialRunReport
-        Ordered results plus the executed/cached split and elapsed time.
+        Ordered results plus the executed/cached split, the
+        failed/retried/pool-restart attribution, and elapsed time.
     """
     specs = list(specs)
     n_jobs = resolve_n_jobs(n_jobs)
-    # Validate eagerly: a bad pool mode must fail on the serial/cached
-    # branches too, not only once the call site first runs parallel.
+    # Validate eagerly: a bad pool mode or fault spec must fail on the
+    # serial/cached branches too, not only once the call site first runs
+    # parallel (or first injects a fault).
     pool = resolve_pool_mode(pool)
+    on_error = resolve_on_error(on_error)
+    retries = resolve_trial_retries(retries)
+    timeout = resolve_trial_timeout(timeout)
+    backoff = resolve_retry_backoff(backoff)
+    restart_budget = resolve_pool_restarts(pool_restarts)
+    plan = resolve_fault_plan(faults)
     store = _as_cache(cache)
     seeds = _effective_seeds(specs, seed)
     start = time.perf_counter()
@@ -232,37 +478,47 @@ def run_trials(
                 continue
         pending.append(position)
     cached = len(specs) - len(pending)
+    trial_faults = plan.for_pending(pending)
+    if trial_faults:
+        _logger.warning(
+            "%s: fault injection active on %d trial(s): %s",
+            label, len(trial_faults), sorted(trial_faults),
+        )
+
+    state = _RunState(results=results, keys=keys, store=store, label=label)
+    base = _ExecutionSettings(
+        retries=retries,
+        timeout=timeout,
+        backoff=backoff,
+        collect=(on_error == "collect"),
+    )
 
     _logger.info(
         "%s: %d trials (%d cached, %d to run) with n_jobs=%d",
         label, len(specs), cached, len(pending), n_jobs,
     )
+    restarts = 0
     if pending:
         if n_jobs == 1 or len(pending) == 1:
+            # Serial path: same retry/timeout/policy semantics, no pool
+            # (worker_crash faults are inert — there is no worker to kill
+            # without killing the ensemble itself).
             for position in pending:
-                results[position] = _run_one(specs[position], seeds[position])
-                _store_result(store, keys[position], results[position])
-                _logger.debug("%s: trial %d done", label, specs[position].index)
-        elif pool == "persistent":
-            # Size the pool by the requested n_jobs (stable across calls
-            # with the same budget), not by this call's pending count —
-            # workers fork lazily, so a small ensemble on a big pool only
-            # starts what it uses.
-            executor = persistent_executor(n_jobs)
-            try:
-                _collect(executor, specs, seeds, pending, results, keys, store, label)
-            except concurrent.futures.process.BrokenProcessPool:
-                shutdown_pool()  # do not hand a dead pool to the next caller
-                raise
+                settings = _settings_for(base, trial_faults.get(position))
+                outcome = _execute_trial(specs[position], seeds[position], settings)
+                state.fold(position, specs[position], outcome)
         else:
-            workers = min(n_jobs, len(pending))
-            with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as executor:
-                _collect(executor, specs, seeds, pending, results, keys, store, label)
+            restarts = _collect(
+                specs, seeds, pending, state, base, trial_faults,
+                n_jobs=n_jobs, pool=pool, restart_budget=restart_budget,
+            )
 
     elapsed = time.perf_counter() - start
     _logger.info(
-        "%s: completed %d trials in %.2fs (%d executed, %d cached)",
+        "%s: completed %d trials in %.2fs "
+        "(%d executed, %d cached, %d failed, %d retried, %d pool restart(s))",
         label, len(specs), elapsed, len(pending), cached,
+        len(state.failed), len(state.retried), restarts,
     )
     pending_set = set(pending)
     return TrialRunReport(
@@ -274,45 +530,266 @@ def run_trials(
         cached_indices=tuple(
             position for position in range(len(specs)) if position not in pending_set
         ),
+        failed=len(state.failed),
+        retried=len(state.retried),
+        pool_restarts=restarts,
+        failed_indices=tuple(sorted(state.failed)),
+        retried_indices=tuple(sorted(state.retried)),
+    )
+
+
+class _RunState:
+    """Mutable fold target shared by the serial and pool paths."""
+
+    def __init__(self, *, results, keys, store, label):
+        self.results = results
+        self.keys = keys
+        self.store = store
+        self.label = label
+        self.failed: set[int] = set()
+        self.retried: set[int] = set()
+
+    def fold(self, position: int, spec: TrialSpec, outcome: _TrialOutcome) -> None:
+        if outcome.attempts > 1:
+            self.retried.add(position)
+        if outcome.failure is not None:
+            self.results[position] = outcome.failure
+            self.failed.add(position)
+            _logger.warning("%s: %s", self.label, outcome.failure)
+            return
+        self.results[position] = outcome.value
+        _store_result(self.store, self.keys[position], outcome.value)
+        _logger.debug("%s: trial %d done", self.label, spec.index)
+
+
+def _settings_for(
+    base: _ExecutionSettings,
+    faults: TrialFaults | None,
+    submission: int = 0,
+) -> _ExecutionSettings:
+    """The settings one submission of one trial ships with.
+
+    ``submission`` is the 1-based pool-submission counter; the serial
+    path passes 0 (its default), which keeps ``worker_crash`` faults
+    disarmed — there is no worker process to kill, and arming the crash
+    in-process would take down the ensemble itself.
+    """
+    if faults is None:
+        return base
+    return _ExecutionSettings(
+        retries=base.retries,
+        timeout=base.timeout,
+        backoff=base.backoff,
+        collect=base.collect,
+        faults=faults,
+        crash=0 < submission <= faults.crash_submissions,
     )
 
 
 def _collect(
-    executor: concurrent.futures.Executor,
     specs: Sequence[TrialSpec],
     seeds: Sequence[Any],
     pending: Sequence[int],
-    results: list[Any],
-    keys: Sequence[str | None],
-    store: TrialCache | None,
-    label: str,
-) -> None:
-    """Submit the pending trials and fold results back in spec order.
+    state: _RunState,
+    base: _ExecutionSettings,
+    trial_faults: dict[int, TrialFaults],
+    *,
+    n_jobs: int,
+    pool: str,
+    restart_budget: int,
+) -> int:
+    """Run the pending trials on an executor, self-healing pool breakage.
 
-    On any failure the not-yet-started futures are cancelled before the
-    exception propagates, so a persistent pool is left idle (and usable)
-    rather than draining abandoned work.
+    Returns the number of pool restarts performed.  Each round submits
+    the not-yet-completed trials; when the pool breaks mid-round
+    (a worker died — OOM killer, segfault, injected crash), results that
+    completed before the breakage are kept, the executor is rebuilt, and
+    only the lost trials are resubmitted.  On any *trial* exception
+    (``raise`` policy) the not-yet-started futures are cancelled before
+    the exception propagates, so a persistent pool is left idle (and
+    usable) rather than draining abandoned work.
     """
-    futures = {
-        executor.submit(_run_one, specs[position], seeds[position]): position
-        for position in pending
-    }
-    try:
-        for future in concurrent.futures.as_completed(futures):
-            position = futures[future]
-            results[position] = future.result()
-            _store_result(store, keys[position], results[position])
-            _logger.debug("%s: trial %d done", label, specs[position].index)
-    except BaseException:
-        for future in futures:
-            future.cancel()
-        raise
+    todo = list(pending)
+    submissions = dict.fromkeys(pending, 0)
+    restarts = 0
+    while todo:
+        executor = _acquire_executor(pool, n_jobs, len(todo))
+        futures: dict[concurrent.futures.Future, int] = {}
+        for position in todo:
+            submissions[position] += 1
+            settings = _settings_for(
+                base, trial_faults.get(position), submissions[position]
+            )
+            futures[
+                executor.submit(_execute_trial, specs[position], seeds[position], settings)
+            ] = position
+        completed: set[int] = set()
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                position = futures[future]
+                state.fold(position, specs[position], future.result())
+                completed.add(position)
+        except BrokenProcessPool:
+            # Keep every result that finished before the breakage, even
+            # ones as_completed had not yielded yet.
+            for future, position in futures.items():
+                if position in completed or not future.done() or future.cancelled():
+                    continue
+                if future.exception() is None:
+                    state.fold(position, specs[position], future.result())
+                    completed.add(position)
+            _release_executor(pool, executor, broken=True)
+            todo = [position for position in todo if position not in completed]
+            restarts += 1
+            if restarts > restart_budget:
+                _logger.error(
+                    "%s: worker pool broke %d time(s), exceeding the restart "
+                    "budget of %d (%s=%d); %d trial(s) unrecovered",
+                    state.label, restarts, restart_budget, POOL_RESTARTS_ENV,
+                    restart_budget, len(todo),
+                )
+                raise
+            _logger.warning(
+                "%s: worker pool broke (a worker process died); rebuilding "
+                "and resubmitting %d lost trial(s) (restart %d of at most %d, "
+                "%d completed result(s) kept)",
+                state.label, len(todo), restarts, restart_budget, len(completed),
+            )
+            continue
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            _release_executor(pool, executor, broken=False)
+            raise
+        _release_executor(pool, executor, broken=False)
+        todo = []
+    return restarts
 
 
-def _run_one(spec: TrialSpec, trial_seed: Any) -> Any:
-    """Execute one trial with its derived generator (runs in workers too)."""
-    rng = np.random.default_rng(trial_seed)
-    return spec.fn(rng, **dict(spec.params))
+def _acquire_executor(
+    pool: str, n_jobs: int, pending_count: int
+) -> concurrent.futures.Executor:
+    if pool == "persistent":
+        # Size the pool by the requested n_jobs (stable across calls with
+        # the same budget), not by this call's pending count — workers
+        # fork lazily, so a small ensemble on a big pool only starts what
+        # it uses.
+        return persistent_executor(n_jobs)
+    return concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(n_jobs, pending_count)
+    )
+
+
+def _release_executor(
+    pool: str, executor: concurrent.futures.Executor, *, broken: bool
+) -> None:
+    if pool == "persistent":
+        if broken:
+            shutdown_pool()  # do not hand a dead pool to the next round/caller
+        return
+    executor.shutdown(wait=True, cancel_futures=True)
+
+
+def _execute_trial(
+    spec: TrialSpec, trial_seed: Any, settings: _ExecutionSettings
+) -> _TrialOutcome:
+    """Execute one trial under the run's policy (runs in workers too).
+
+    Retries re-derive the generator from the same ``trial_seed``, so a
+    successful attempt N returns bit-identical results to a clean
+    attempt 1.  Only :class:`Exception` is retried/collected —
+    ``KeyboardInterrupt``/``SystemExit`` always propagate.
+    """
+    if settings.crash:
+        # Simulated worker death (OOM killer / segfault): bypass every
+        # Python-level cleanup, exactly like the real thing.
+        os._exit(CRASH_EXIT_CODE)
+    attempts = settings.retries + 1
+    start = time.perf_counter()
+    final: Exception | None = None
+    final_traceback = ""
+    for attempt in range(1, attempts + 1):
+        try:
+            value = _attempt(spec, trial_seed, settings, attempt)
+            return _TrialOutcome(value=value, attempts=attempt)
+        except Exception as exc:
+            final = exc
+            final_traceback = traceback.format_exc()
+            if attempt < attempts:
+                _sleep_backoff(settings.backoff, attempt)
+    elapsed = time.perf_counter() - start
+    if settings.collect:
+        return _TrialOutcome(
+            failure=TrialFailure(
+                index=spec.index,
+                error_type=type(final).__name__,
+                message=str(final),
+                traceback=final_traceback,
+                attempts=attempts,
+                elapsed=elapsed,
+            ),
+            attempts=attempts,
+        )
+    raise final
+
+
+def _sleep_backoff(backoff: float, attempt: int) -> None:
+    if backoff > 0:
+        time.sleep(min(backoff * 2 ** (attempt - 1), MAX_RETRY_BACKOFF))
+
+
+def _attempt(
+    spec: TrialSpec, trial_seed: Any, settings: _ExecutionSettings, attempt: int
+) -> Any:
+    """One attempt: injected faults first, then the trial callable."""
+    faults = settings.faults
+
+    def call() -> Any:
+        if faults.slow_attempts >= attempt and faults.slow_seconds > 0:
+            time.sleep(faults.slow_seconds)
+        if faults.error_attempts >= attempt:
+            raise InjectedFault(
+                f"injected trial error (trial {spec.index}, attempt {attempt}; "
+                f"{FAULT_INJECT_ENV})"
+            )
+        rng = np.random.default_rng(trial_seed)
+        return spec.fn(rng, **dict(spec.params))
+
+    if settings.timeout is None:
+        return call()
+    return _call_with_timeout(call, settings.timeout, spec.index)
+
+
+def _call_with_timeout(call: Callable[[], Any], timeout: float, index: int) -> Any:
+    """Run ``call`` under a watchdog; raise :class:`TrialTimeoutError` on
+    expiry.
+
+    The attempt runs in a daemon thread; on timeout the thread is
+    abandoned (its eventual result is discarded) rather than killed —
+    Python cannot safely preempt arbitrary code — which is why this works
+    identically in-process and inside pool workers without breaking the
+    pool.
+    """
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        try:
+            box["value"] = call()
+        except BaseException as exc:  # ferried to the caller, not lost
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=runner, name=f"repro-trial-{index}", daemon=True
+    )
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise TrialTimeoutError(
+            f"trial {index} exceeded the per-attempt timeout of {timeout:g}s"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
 
 
 def _store_result(store: TrialCache | None, key: str | None, result: Any) -> None:

@@ -8,8 +8,15 @@ worker processes) and their ``params`` must be hashable by
 :func:`repro.runtime.hashing.stable_hash` when caching is enabled.
 
 :class:`TrialRunReport` is what :func:`repro.runtime.engine.run_trials`
-returns: the ordered results plus the executed/cached split and wall-clock
-timing, so callers (and tests) can observe cache behaviour directly.
+returns: the ordered results plus the executed/cached split, failure and
+retry attribution, and wall-clock timing, so callers (and tests) can
+observe cache and recovery behaviour directly.
+
+:class:`TrialFailure` is the structured stand-in a permanently failed
+trial leaves in the results under the ``on_error="collect"`` policy: the
+exception's type, message, and formatted traceback plus the attempt count
+and wall clock — plain picklable strings/numbers, so it crosses process
+boundaries and serializes into tracked run records.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from typing import Any, Callable, Mapping, Union
 
 import numpy as np
 
-__all__ = ["TrialSpec", "TrialRunReport", "TrialSeed"]
+__all__ = ["TrialSpec", "TrialRunReport", "TrialSeed", "TrialFailure"]
 
 # Explicit per-trial seed forms the engine accepts on a spec.
 TrialSeed = Union[None, int, np.random.SeedSequence]
@@ -55,6 +62,46 @@ class TrialSpec:
 
 
 @dataclass(frozen=True)
+class TrialFailure:
+    """A permanently failed trial, as structured data (picklable).
+
+    Under the ``on_error="collect"`` failure policy, a trial whose every
+    attempt raised ends up as a :class:`TrialFailure` in the report's
+    ``results`` instead of aborting the ensemble.  Everything is plain
+    strings and numbers so the object crosses process boundaries and
+    lands in tracked run records unchanged.
+
+    Attributes
+    ----------
+    index:
+        The failed trial's ensemble index (``TrialSpec.index``).
+    error_type:
+        Class name of the final exception (e.g. ``"RuntimeError"``).
+    message:
+        ``str()`` of the final exception.
+    traceback:
+        The formatted traceback of the final attempt.
+    attempts:
+        Total attempts made (1 + retries actually used).
+    elapsed:
+        Wall-clock seconds spent across all attempts, backoff included.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    traceback: str = field(repr=False, default="")
+    attempts: int = 1
+    elapsed: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"trial {self.index} failed after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+@dataclass(frozen=True)
 class TrialRunReport:
     """Outcome of one :func:`~repro.runtime.engine.run_trials` call.
 
@@ -62,8 +109,10 @@ class TrialRunReport:
     ----------
     results:
         Trial results in spec order (independent of completion order).
+        Under ``on_error="collect"``, permanently failed trials appear
+        as :class:`TrialFailure` entries at their positions.
     executed:
-        Number of trials actually run in this call.
+        Number of trials actually run in this call (failures included).
     cached:
         Number of trials served from the on-disk cache.
     n_jobs:
@@ -74,6 +123,18 @@ class TrialRunReport:
         Positions (in spec order) that were served from the cache —
         lets batching callers (e.g. :mod:`repro.scenarios`) attribute
         the executed/cached split to their own sub-ranges.
+    failed:
+        Number of trials that permanently failed (``collect`` policy
+        only; the ``raise`` policy never returns a report with failures).
+    retried:
+        Number of trials that needed more than one attempt (whether they
+        eventually succeeded or failed).
+    pool_restarts:
+        Times the worker pool was rebuilt after breaking mid-run
+        (lost in-flight trials were resubmitted; completed results and
+        cache hits were kept).
+    failed_indices / retried_indices:
+        The positions (in spec order) behind ``failed`` / ``retried``.
     """
 
     results: list
@@ -82,3 +143,8 @@ class TrialRunReport:
     n_jobs: int
     elapsed: float
     cached_indices: tuple[int, ...] = ()
+    failed: int = 0
+    retried: int = 0
+    pool_restarts: int = 0
+    failed_indices: tuple[int, ...] = ()
+    retried_indices: tuple[int, ...] = ()

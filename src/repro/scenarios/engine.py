@@ -115,8 +115,15 @@ def run_scenario(
     n_jobs: int | None = None,
     cache=None,
     pool: str | None = None,
+    on_error: str | None = None,
 ) -> ScenarioReport:
-    """Execute one scenario through the runtime engine."""
+    """Execute one scenario through the runtime engine.
+
+    ``on_error`` is the engine's failure policy: the default ``raise``
+    aborts on the first permanently failed trial, ``collect`` records
+    failures as :class:`~repro.runtime.TrialFailure` results and keeps
+    the rest of the ensemble.
+    """
     specs = compile_scenario(scenario)
     report = run_trials(
         specs,
@@ -124,6 +131,7 @@ def run_scenario(
         cache=cache,
         label=f"scenario:{scenario.name}",
         pool=pool,
+        on_error=on_error,
     )
     return ScenarioReport(
         scenario=scenario,
@@ -140,6 +148,7 @@ def run_scenarios(
     cache=None,
     pool: str | None = None,
     label: str = "scenarios",
+    on_error: str | None = None,
 ) -> list[ScenarioReport]:
     """Execute a scenario list as **one** batched engine call.
 
@@ -147,8 +156,10 @@ def run_scenarios(
     call, so trials from different scenarios fan across the worker pool
     together (Table 1's twelve single-fit cells parallelise exactly like
     the pre-scenario harness did).  Per-scenario reports attribute the
-    executed/cached split back to each scenario's own trials; ``elapsed``
-    is the whole batch's wall clock.
+    executed/cached split — and, under ``on_error="collect"``, the
+    failed/retried trials — back to each scenario's own positions;
+    ``elapsed`` is the whole batch's wall clock and ``pool_restarts``
+    (a batch-wide event) is carried on every sub-report.
     """
     scenarios = list(scenarios)
     specs: list[TrialSpec] = []
@@ -158,17 +169,23 @@ def run_scenarios(
         extents.append((len(specs), len(compiled)))
         specs.extend(compiled)
     batch = run_trials(
-        specs, n_jobs=n_jobs, cache=cache, label=f"{label}[{len(scenarios)}]", pool=pool
+        specs,
+        n_jobs=n_jobs,
+        cache=cache,
+        label=f"{label}[{len(scenarios)}]",
+        pool=pool,
+        on_error=on_error,
     )
     cached_positions = set(batch.cached_indices)
+    failed_positions = set(batch.failed_indices)
+    retried_positions = set(batch.retried_indices)
     reports: list[ScenarioReport] = []
     for scenario, (offset, size) in zip(scenarios, extents):
         results = batch.results[offset : offset + size]
-        cached = tuple(
-            position - offset
-            for position in range(offset, offset + size)
-            if position in cached_positions
-        )
+        span = range(offset, offset + size)
+        cached = tuple(p - offset for p in span if p in cached_positions)
+        failed = tuple(p - offset for p in span if p in failed_positions)
+        retried = tuple(p - offset for p in span if p in retried_positions)
         reports.append(
             ScenarioReport(
                 scenario=scenario,
@@ -180,6 +197,11 @@ def run_scenarios(
                     n_jobs=batch.n_jobs,
                     elapsed=batch.elapsed,
                     cached_indices=cached,
+                    failed=len(failed),
+                    retried=len(retried),
+                    pool_restarts=batch.pool_restarts,
+                    failed_indices=failed,
+                    retried_indices=retried,
                 ),
                 seeds=tuple(spec.seed for spec in specs[offset : offset + size]),
             )

@@ -4,7 +4,11 @@ The scenario engine is measurement-agnostic, so the renderer formats
 each ensemble by the *type* of its results: initiators as parameter
 triples, matching statistics as ensemble means, graphs by size, scalars
 by mean — enough for the CLI report and the CI smoke artifact without
-every consumer writing its own table code.
+every consumer writing its own table code.  Under the ``collect``
+failure policy, :class:`~repro.runtime.TrialFailure` entries are
+filtered out of the statistics and surfaced as an explicit failure
+count, so a partially failed ensemble still renders its surviving
+trials honestly.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.kronecker.initiator import Initiator
+from repro.runtime import TrialFailure
 from repro.scenarios.engine import ScenarioReport
 from repro.stats.counts import MatchingStatistics
 from repro.utils.tables import TextTable
@@ -23,9 +28,22 @@ __all__ = ["summarize_results", "render_scenario_reports"]
 
 
 def summarize_results(results: Sequence) -> str:
-    """One-line, type-appropriate summary of a scenario's ensemble."""
+    """One-line, type-appropriate summary of a scenario's ensemble.
+
+    Failed trials (:class:`~repro.runtime.TrialFailure`) are excluded
+    from the statistics and reported as a ``N failed`` suffix.
+    """
+    failures = [r for r in results if isinstance(r, TrialFailure)]
+    results = [r for r in results if not isinstance(r, TrialFailure)]
+    suffix = f" [{len(failures)} failed]" if failures else ""
     if not results:
+        if failures:
+            return f"(all {len(failures)} trial(s) failed)"
         return "(no trials)"
+    return _summarize_values(results) + suffix
+
+
+def _summarize_values(results: Sequence) -> str:
     first = results[0]
     if isinstance(first, Initiator):
         a = float(np.mean([r.a for r in results]))
@@ -64,6 +82,8 @@ def render_scenario_reports(
         scenario = executed.scenario
         run = executed.report
         trials = f"{len(run.results)} ({run.executed} run, {run.cached} cached)"
+        if run.failed:
+            trials += f" [{run.failed} failed]"
         table.add_row(
             [
                 scenario.name,

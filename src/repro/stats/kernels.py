@@ -159,10 +159,10 @@ def resolve_block_size(block_size: int | None = None) -> int:
             return 0
         try:
             block_size = int(raw)
-        except ValueError:
+        except ValueError as exc:
             raise ValidationError(
                 f"environment variable {BLOCK_SIZE_ENV} must be an integer, got {raw!r}"
-            )
+            ) from exc
     if isinstance(block_size, bool) or not isinstance(block_size, (int, np.integer)):
         raise ValidationError(f"block size must be an integer, got {block_size!r}")
     if block_size < 0:

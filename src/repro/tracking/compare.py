@@ -16,7 +16,14 @@ objects up scenario-by-scenario and metric-by-metric:
   measured different things);
 * **cache attribution** — each run's executed/cached split, so the
   comparison states which numbers were recomputed and which were served
-  from the trial cache.
+  from the trial cache;
+* **failure attribution** — each run's failed/retried trial totals and
+  pool restarts (schema v2 records).  Positions where *either* run's
+  trial permanently failed are excluded from metric drift — a failed
+  trial has no metrics to compare — and reported as informational notes
+  instead, so "bit-identical on surviving metrics" is exactly what the
+  verdict states.  A chaos run whose faults were all healed (retries,
+  pool restarts) carries no failed trials and is compared in full.
 
 Comparison is deterministic: the same two records always produce the
 same :class:`RunComparison` and the same rendered report.
@@ -56,6 +63,8 @@ class RunComparison:
     drifts: list[MetricDrift] = field(repr=False)
     structure_mismatches: list[str] = field(default_factory=list)
     cache: dict[str, dict[str, int]] = field(default_factory=dict)
+    failures: dict[str, dict[str, int]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
 
     @property
     def drifted(self) -> list[MetricDrift]:
@@ -104,6 +113,7 @@ def compare_runs(
             mismatches.append(f"scenario {name!r} only in {name_b}")
 
     drifts: list[MetricDrift] = []
+    notes: list[str] = []
     for name, entry_a in by_name_a.items():
         entry_b = by_name_b.get(name)
         if entry_b is None:
@@ -116,6 +126,21 @@ def compare_runs(
                 f"{len(rows_b)} in {name_b}"
             )
             continue
+        # A permanently failed trial (collect policy) has no metrics, so
+        # its position cannot drift — exclude it on both sides and say so.
+        # Records written before schema v2 carry no failed_indices.
+        skip = set(entry_a.get("failed_indices", ())) | set(
+            entry_b.get("failed_indices", ())
+        )
+        if skip:
+            notes.append(
+                f"scenario {name!r}: trial position(s) "
+                f"{', '.join(str(p) for p in sorted(skip))} failed in at "
+                f"least one run; excluded from drift (comparing the "
+                f"{len(rows_a) - len(skip)} surviving trial(s))"
+            )
+            rows_a = [row for p, row in enumerate(rows_a) if p not in skip]
+            rows_b = [row for p, row in enumerate(rows_b) if p not in skip]
         keys_a = {key for row in rows_a for key in row}
         keys_b = {key for row in rows_b for key in row}
         if keys_a != keys_b:
@@ -146,6 +171,10 @@ def compare_runs(
         name_a: _cache_split(record_a),
         name_b: _cache_split(record_b),
     }
+    failures = {
+        name_a: _failure_split(record_a),
+        name_b: _failure_split(record_b),
+    }
     return RunComparison(
         name_a=name_a,
         name_b=name_b,
@@ -155,6 +184,8 @@ def compare_runs(
         drifts=drifts,
         structure_mismatches=mismatches,
         cache=cache,
+        failures=failures,
+        notes=notes,
     )
 
 
@@ -172,6 +203,15 @@ def _cache_split(record: RunRecord) -> dict[str, int]:
     return {
         "executed": int(record.timing["executed"]),
         "cached": int(record.timing["cached"]),
+    }
+
+
+def _failure_split(record: RunRecord) -> dict[str, int]:
+    # .get defaults keep pre-v2 (and minimal test-built) records readable.
+    return {
+        "failed": int(record.timing.get("failed", 0)),
+        "retried": int(record.timing.get("retried", 0)),
+        "pool_restarts": int(record.timing.get("pool_restarts", 0)),
     }
 
 
@@ -200,6 +240,16 @@ def render_comparison(comparison: RunComparison) -> str:
             f"cache attribution: {name} {split.get('executed', 0)} executed / "
             f"{split.get('cached', 0)} cached"
         )
+    for name in (comparison.name_a, comparison.name_b):
+        split = comparison.failures.get(name, {})
+        if any(split.get(key, 0) for key in ("failed", "retried", "pool_restarts")):
+            lines.append(
+                f"failure attribution: {name} {split.get('failed', 0)} failed / "
+                f"{split.get('retried', 0)} retried / "
+                f"{split.get('pool_restarts', 0)} pool restart(s)"
+            )
+    for note in comparison.notes:
+        lines.append(f"note: {note}")
     for mismatch in comparison.structure_mismatches:
         lines.append(f"structure mismatch: {mismatch}")
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
 from repro.kronecker.initiator import Initiator
+from repro.runtime import TrialFailure
 from repro.stats.counts import MatchingStatistics
 
 __all__ = ["trial_metrics"]
@@ -59,8 +60,14 @@ def trial_metrics(result: Any) -> dict[str, Any]:
       two bit-identical runs produce bit-identical tables),
     * plain numbers — a single ``value`` metric,
     * fitted results exposing an ``initiator`` — the triple (plus
-      ``log_likelihood`` where present).
+      ``log_likelihood`` where present),
+    * :class:`~repro.runtime.TrialFailure` (a permanently failed trial
+      under the ``collect`` policy) — an empty row; the failure itself
+      is attributed through the scenario entry's ``failed_indices``, and
+      the comparison layer skips the position on both sides.
     """
+    if isinstance(result, TrialFailure):
+        return {}
     if isinstance(result, Mapping):
         return {str(key): _number(result[key]) for key in sorted(result)}
     if isinstance(result, Initiator):

@@ -46,7 +46,10 @@ __all__ = [
 
 # Bump when the run.json layout changes; repro.tracking.store refuses to
 # load records written under a different version.
-SCHEMA_VERSION = 1
+# v2: failure observability — per-scenario failed/retried attribution,
+# batch-level failed/retried/pool_restarts timing, and the fault/retry
+# knobs in the environment fingerprint.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -70,11 +73,12 @@ class RunRecord:
         The host fingerprint (:func:`environment_fingerprint`).
     timing:
         Batch-level telemetry: wall-clock seconds, executed/cached trial
-        totals, and the resolved worker count.
+        totals, the resolved worker count, and the failure attribution
+        (``failed``/``retried`` trial totals, ``pool_restarts``).
     scenarios:
         One entry per scenario: the frozen spec payload, the materialized
         per-trial seed tokens, the per-trial ``metrics`` rows, and the
-        scenario's executed/cached attribution.
+        scenario's executed/cached and failed/retried attribution.
     """
 
     schema_version: int
@@ -124,7 +128,13 @@ def environment_fingerprint() -> dict[str, Any]:
     import scipy
 
     from repro.native.chain import resolve_chain_backend
-    from repro.runtime import resolve_n_jobs, resolve_pool_mode
+    from repro.runtime import (
+        FAULT_INJECT_ENV,
+        resolve_n_jobs,
+        resolve_pool_mode,
+        resolve_trial_retries,
+        resolve_trial_timeout,
+    )
     from repro.stats.kernels import resolve_kernel_backend
 
     return {
@@ -137,6 +147,9 @@ def environment_fingerprint() -> dict[str, Any]:
         "chain_backend": resolve_chain_backend(),
         "pool_mode": resolve_pool_mode(),
         "n_jobs": resolve_n_jobs(),
+        "trial_retries": resolve_trial_retries(),
+        "trial_timeout": resolve_trial_timeout(),
+        "fault_inject": os.environ.get(FAULT_INJECT_ENV) or None,
     }
 
 
@@ -166,8 +179,15 @@ def build_run_record(
     scenarios = [_scenario_entry(report) for report in reports]
     executed = sum(entry["executed"] for entry in scenarios)
     cached = sum(entry["cached"] for entry in scenarios)
+    failed = sum(entry["failed"] for entry in scenarios)
+    retried = sum(entry["retried"] for entry in scenarios)
     elapsed = max((report.report.elapsed for report in reports), default=0.0)
     n_jobs = max((report.report.n_jobs for report in reports), default=1)
+    # Batched scenarios share one engine call, so every sub-report carries
+    # the same batch-wide restart count — max, not sum.
+    pool_restarts = max(
+        (report.report.pool_restarts for report in reports), default=0
+    )
     return RunRecord(
         schema_version=SCHEMA_VERSION,
         created=created,
@@ -180,6 +200,9 @@ def build_run_record(
             "executed": int(executed),
             "cached": int(cached),
             "n_jobs": int(n_jobs),
+            "failed": int(failed),
+            "retried": int(retried),
+            "pool_restarts": int(pool_restarts),
         },
         scenarios=scenarios,
     )
@@ -219,6 +242,10 @@ def _scenario_entry(report) -> dict[str, Any]:
         "executed": int(run.executed),
         "cached": int(run.cached),
         "cached_indices": [int(index) for index in run.cached_indices],
+        "failed": int(run.failed),
+        "retried": int(run.retried),
+        "failed_indices": [int(index) for index in run.failed_indices],
+        "retried_indices": [int(index) for index in run.retried_indices],
     }
 
 

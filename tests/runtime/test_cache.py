@@ -38,6 +38,29 @@ class TestTrialCache:
         cache.store(KEY, [4, 5])
         assert cache.load(KEY) == (True, [4, 5])
 
+    def test_corrupt_entry_is_quarantined_with_a_warning(self, tmp_path, caplog):
+        cache = TrialCache(tmp_path / "cache")
+        cache.store(KEY, [1, 2, 3])
+        path = cache.path_for(KEY)
+        path.write_bytes(b"not a pickle")
+        with caplog.at_level("WARNING", logger="repro.runtime.cache"):
+            assert cache.load(KEY) == (False, None)
+        assert any("quarantined" in record.message for record in caplog.records)
+        # The bad bytes moved aside (kept for post-mortems), the slot is
+        # free, and the quarantine file never counts as an entry.
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert not path.exists()
+        assert quarantined.read_bytes() == b"not a pickle"
+        assert len(cache) == 0
+        # Truncated entries quarantine the same way.
+        cache.store(KEY, [9])
+        path.write_bytes(path.read_bytes()[:3])
+        assert cache.load(KEY) == (False, None)
+        assert not path.exists()
+        # A second corruption of the same slot overwrites the quarantine
+        # file rather than failing the rename.
+        assert quarantined.exists()
+
     def test_overwrite_replaces(self, tmp_path):
         cache = TrialCache(tmp_path / "cache")
         cache.store(KEY, "first")

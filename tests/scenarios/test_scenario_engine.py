@@ -176,6 +176,37 @@ class TestRun:
         assert reports[1].report.cached == 0
         assert reports[1].report.executed == 3
 
+    def test_failed_trials_attributed_per_scenario(self, monkeypatch):
+        """In a batched run, a failure at a global batch position lands
+        in the owning scenario's sub-report at its *local* position."""
+        from repro.runtime import TrialFailure
+
+        scenarios = [
+            sampling_scenario("one", size=2, entropy=(1,)),
+            sampling_scenario("two", size=3, entropy=(2,)),
+        ]
+        # Batch positions: scenario "one" is 0-1, "two" is 2-4; global
+        # position 3 is "two"'s local trial 1.
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "trial_error:index=3:attempts=9")
+        reports = run_scenarios(scenarios, on_error="collect")
+        assert reports[0].report.failed == 0
+        assert reports[1].report.failed == 1
+        assert reports[1].report.failed_indices == (1,)
+        assert isinstance(reports[1].results[1], TrialFailure)
+        # Surviving trials are untouched by the neighbour's failure.
+        clean = [run_scenario(s) for s in scenarios]
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        assert reports[0].results == clean[0].results
+        assert reports[1].results[0] == clean[1].results[0]
+        assert reports[1].results[2] == clean[1].results[2]
+
+    def test_on_error_raise_is_still_the_default(self, monkeypatch):
+        from repro.runtime import InjectedFault
+
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "trial_error:index=0:attempts=9")
+        with pytest.raises(InjectedFault):
+            run_scenario(sampling_scenario())
+
     def test_trial_rng_flows_fit_then_measure(self):
         # Directly drive the generic trial: the Fixed model samples with
         # the trial stream, so equal seeds give equal statistics.

@@ -1,55 +1,34 @@
-"""The deprecated ``repro.stats._fused`` shim: warning + live aliasing.
+"""The ``repro.stats._fused`` shim is gone — and stays gone.
 
-PR 5 deprecated the shim (removal horizon: PR 7).  Until then it must
-keep warning loudly and keep aliasing the *live* native registry, so any
-straggling external monkeypatches still affect resolution.
+PR 3 introduced the shim, PR 5 deprecated it with an explicit removal
+horizon (PR 7), and PR 7 deleted it.  This guard pins the removal: the
+module must not come back (a revived shim would silently re-bless the
+retired import path), and the replacement surface it pointed migrators
+at must keep existing.
 """
 
 from __future__ import annotations
 
 import importlib
-import sys
+import importlib.util
 
 import pytest
 
 
-def fresh_import():
-    sys.modules.pop("repro.stats._fused", None)
-    return importlib.import_module("repro.stats._fused")
+class TestFusedShimRemoved:
+    def test_shim_module_no_longer_exists(self):
+        assert importlib.util.find_spec("repro.stats._fused") is None, (
+            "repro.stats._fused was removed in PR 7; import the fused "
+            "counting kernels from repro.native.counting instead"
+        )
 
+    def test_shim_import_fails(self):
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.stats._fused")
 
-class TestFusedShimDeprecation:
-    def test_import_emits_deprecation_warning(self):
-        with pytest.warns(DeprecationWarning, match="repro.native.counting"):
-            fresh_import()
-
-    def test_shim_aliases_the_live_registry(self):
-        from repro.native.counting import COUNTING_KERNEL, FUSED_BACKENDS
-
-        with pytest.warns(DeprecationWarning):
-            shim = fresh_import()
-        assert shim._STATES is COUNTING_KERNEL.states
-        assert shim.FUSED_BACKENDS == FUSED_BACKENDS
-
-    def test_removal_note_names_pr7(self):
-        """The warning and the module docstring must keep stating the
-        agreed removal horizon (PR 7) until the shim is actually deleted
-        — a silent horizon edit would strand external migrators."""
-        with pytest.warns(DeprecationWarning, match="removed in PR 7") as caught:
-            shim = fresh_import()
-        assert any(
-            "repro.native.counting" in str(warning.message) for warning in caught
-        ), "the warning must name the replacement module"
-        assert "PR 7" in shim.__doc__
-        assert "repro.native.counting" in shim.__doc__
-
-    def test_nothing_in_the_package_imports_the_shim(self):
-        """The tier-1 suite must not trip the warning transitively."""
-        for name in list(sys.modules):
-            if name == "repro.stats._fused":
-                sys.modules.pop(name)
-        import repro.evaluation  # noqa: F401  (pulls in the whole stack)
-        import repro.scenarios  # noqa: F401
-        import repro.stats.kernels  # noqa: F401
-
-        assert "repro.stats._fused" not in sys.modules
+    def test_replacement_surface_exists(self):
+        """The migration target named by the old deprecation warning must
+        keep exporting what the shim re-exported."""
+        counting = importlib.import_module("repro.native.counting")
+        assert hasattr(counting, "COUNTING_KERNEL")
+        assert hasattr(counting, "FUSED_BACKENDS")

@@ -26,12 +26,6 @@ ALL_MODULES = _walk_modules()
 
 class TestImports:
     @pytest.mark.parametrize("name", ALL_MODULES)
-    @pytest.mark.filterwarnings(
-        # The repro.stats._fused shim is deprecated (removal: PR 7) and
-        # warns on import by design; tests/stats/test_fused_shim.py
-        # asserts the warning explicitly.
-        "ignore:repro.stats._fused is a deprecated shim:DeprecationWarning"
-    )
     def test_module_imports(self, name):
         module = importlib.import_module(name)
         assert module is not None

@@ -129,7 +129,7 @@ class TestTrackedRuns:
         assert main(["runs", "show", str(paths[0])]) == 0
         shown = capsys.readouterr().out
         assert "as20:DPDegree" in shown
-        assert "schema_version: 1" in shown
+        assert "schema_version: 2" in shown
 
     def test_unknown_run_token_fails_loudly(self, tracked_pair, capsys):
         tmp_path, _paths = tracked_pair

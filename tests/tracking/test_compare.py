@@ -124,6 +124,55 @@ class TestCompareRuns:
         assert comparison.cache["cold"] == {"executed": 2, "cached": 0}
         assert comparison.cache["resumed"] == {"executed": 0, "cached": 2}
 
+    def test_failure_attribution_defaults_to_zero(self):
+        # Records without the v2 failure fields (minimal/pre-v2) read as
+        # fault-free.
+        comparison = compare_runs(make_record(), make_record())
+        assert comparison.failures["A"] == {
+            "failed": 0, "retried": 0, "pool_restarts": 0,
+        }
+        assert comparison.notes == []
+
+    def test_failure_attribution_from_timing(self):
+        chaotic = make_record()
+        chaotic.timing.update(failed=1, retried=2, pool_restarts=1)
+        comparison = compare_runs(
+            make_record(), chaotic, name_a="clean", name_b="chaos"
+        )
+        assert comparison.failures["clean"]["failed"] == 0
+        assert comparison.failures["chaos"] == {
+            "failed": 1, "retried": 2, "pool_restarts": 1,
+        }
+        # Attribution alone is informational, never drift.
+        assert not comparison.has_drift
+
+    def test_failed_positions_are_excluded_from_drift(self):
+        """A failed trial has no metrics — the position is skipped on
+        both sides, the surviving trials still compare bit-exactly, and
+        the exclusion is reported as a note."""
+        chaotic = make_record()
+        chaotic.scenarios[0] = {
+            **chaotic.scenarios[0],
+            "metrics": [chaotic.scenarios[0]["metrics"][0], {}],
+            "failed": 1,
+            "failed_indices": [1],
+        }
+        comparison = compare_runs(
+            make_record(), chaotic, name_a="clean", name_b="chaos"
+        )
+        assert not comparison.has_drift
+        assert len(comparison.drifts) == 2  # edges + score, survivors only
+        assert any("excluded from drift" in note for note in comparison.notes)
+        # A surviving-trial disagreement still drifts.
+        drifted = make_record(9.0)
+        drifted.scenarios[0] = {
+            **drifted.scenarios[0],
+            "metrics": [drifted.scenarios[0]["metrics"][0], {}],
+            "failed": 1,
+            "failed_indices": [1],
+        }
+        assert compare_runs(make_record(), drifted).has_drift
+
 
 class TestRender:
     def test_render_is_deterministic(self):
@@ -143,3 +192,24 @@ class TestRender:
         drifted = render_comparison(compare_runs(make_record(), make_record(9.0)))
         assert "verdict: DRIFT" in drifted
         assert "score" in drifted
+
+    def test_render_failure_attribution_only_when_present(self):
+        clean = render_comparison(compare_runs(make_record(), make_record()))
+        assert "failure attribution" not in clean
+        chaotic = make_record()
+        chaotic.timing.update(failed=1, retried=2, pool_restarts=1)
+        chaotic.scenarios[0] = {
+            **chaotic.scenarios[0],
+            "metrics": [chaotic.scenarios[0]["metrics"][0], {}],
+            "failed": 1,
+            "failed_indices": [1],
+        }
+        rendered = render_comparison(
+            compare_runs(make_record(), chaotic, name_a="clean", name_b="chaos")
+        )
+        assert (
+            "failure attribution: chaos 1 failed / 2 retried / 1 pool restart(s)"
+            in rendered
+        )
+        assert "note:" in rendered and "excluded from drift" in rendered
+        assert "verdict: metrics identical" in rendered

@@ -95,7 +95,19 @@ class TestRoundTrip:
             "chain_backend",
             "pool_mode",
             "n_jobs",
+            "trial_retries",
+            "trial_timeout",
+            "fault_inject",
         }
+
+    def test_fingerprint_captures_fault_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIAL_RETRIES", "2")
+        monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "30")
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "trial_error:index=0")
+        fingerprint = environment_fingerprint()
+        assert fingerprint["trial_retries"] == 2
+        assert fingerprint["trial_timeout"] == 30.0
+        assert fingerprint["fault_inject"] == "trial_error:index=0"
 
     def test_cache_attribution_recorded(self, tmp_path):
         cache = tmp_path / "cache"
@@ -108,6 +120,48 @@ class TestRoundTrip:
         assert record_resumed.timing["executed"] == 0
         assert record_resumed.timing["cached"] == 3
         assert record_resumed.scenarios[0]["cached_indices"] == [0, 1, 2]
+
+    def test_clean_run_records_zero_failure_attribution(self):
+        record = build_record()
+        assert record.timing["failed"] == 0
+        assert record.timing["retried"] == 0
+        assert record.timing["pool_restarts"] == 0
+        entry = record.scenarios[0]
+        assert entry["failed"] == 0 and entry["failed_indices"] == []
+        assert entry["retried"] == 0 and entry["retried_indices"] == []
+
+    def test_failed_trials_attributed_in_the_record(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "trial_error:index=1:attempts=9")
+        reports = run_scenarios([sampling_scenario()], on_error="collect")
+        record = build_run_record(reports, created="2026-08-08T12:00:00Z")
+        entry = record.scenarios[0]
+        assert record.timing["failed"] == 1
+        assert entry["failed"] == 1 and entry["failed_indices"] == [1]
+        # The failed position carries an empty metric row; survivors keep
+        # their real metrics.
+        assert entry["metrics"][1] == {}
+        assert entry["metrics"][0] != {}
+        # And the record still round-trips through JSON.
+        import json as json_module
+
+        json_module.dumps(dataclasses.asdict(record))
+
+    def test_healed_retry_attributed_and_bit_identical(self, monkeypatch):
+        clean = build_run_record(
+            run_scenarios([sampling_scenario()]), created="2026-08-08T12:00:00Z"
+        )
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "trial_error:index=1:attempts=1")
+        monkeypatch.setenv("REPRO_TRIAL_RETRIES", "1")
+        monkeypatch.setenv("REPRO_TRIAL_BACKOFF", "0")
+        healed = build_run_record(
+            run_scenarios([sampling_scenario()]), created="2026-08-08T12:00:00Z"
+        )
+        entry = healed.scenarios[0]
+        assert healed.timing["retried"] == 1 and healed.timing["failed"] == 0
+        assert entry["retried_indices"] == [1]
+        # The retried trial re-derived the same stream: metrics match the
+        # clean run bit for bit.
+        assert entry["metrics"] == clean.scenarios[0]["metrics"]
 
     def test_schema_version_guard(self, tmp_path):
         path = write_run(build_record(), tmp_path)
