@@ -70,8 +70,9 @@ from repro.native.chain import (
 from repro.native.registry import NATIVE_BACKENDS
 
 # Bump when the JSON layout changes; tests/test_bench_artifacts.py keeps
-# the committed artifact in sync.
-SCHEMA_VERSION = 2
+# the committed artifact in sync.  3 = added the large-k scale rows
+# (per-engine delta-scan fits at k ∈ {16, 18, 20}).
+SCHEMA_VERSION = 3
 
 OUT_PATH = Path(__file__).parent / "out" / "BENCH_kronfit.json"
 THETA = Initiator(0.99, 0.45, 0.25)  # the paper's synthetic initiator
@@ -104,6 +105,17 @@ QUICK_FIT_PARAMS = dict(
 # small on the reference engine so the bench stays minutes-scale.
 THROUGHPUT_PROPOSALS = {"numpy": 20_000, "numba": 400_000, "cext": 400_000}
 EQUIVALENCE_PROPOSALS = 4_000
+
+# The large-k scale rows (PR 8): full Table-1-budget fits on the skg-k16
+# / k18 / k20 datasets.  The touched-cell delta scan keeps even the
+# numpy reference minutes-free at 10^6 nodes (the old full-scan path
+# paid 2 * (k+1)^2 score reads per proposal; the delta scan pays
+# O(deg i + deg j)), and the fused engines must still beat it >= 2x at
+# k=18.
+LARGE_K_ORDERS = (16, 18, 20)
+LARGE_K_QUICK_ORDERS = (16,)
+LARGE_K_FLOOR_K = 18
+LARGE_K_FIT_FLOOR = 2.0
 
 
 def chain_engines() -> tuple[str, ...]:
@@ -276,6 +288,44 @@ def bench_multistart(graph: Graph, repeats: int, fit_params: dict) -> dict:
     return records
 
 
+def bench_large_k(k: int, fit_params: dict) -> dict:
+    """One large-k scale row: per-engine end-to-end fits on ``skg-k{k}``.
+
+    The graphs come from the dataset registry (the same draws the
+    ``large-k`` scenario preset fits), and every engine's fitted
+    initiator is enforced bit-identical by :func:`bench_fit`.
+    """
+    graph = load_dataset(f"skg-k{k}")
+    return {
+        "k": k,
+        "n_nodes": graph.n_nodes,
+        "n_edges": graph.n_edges,
+        "fit": {"params": fit_params, **bench_fit(graph, fit_params)},
+    }
+
+
+def _large_k_floor(large_k_rows: list[dict]) -> dict:
+    """The fastest fused engine's fit speedup on the k=18 scale row."""
+    entry = {
+        "k": LARGE_K_FLOOR_K,
+        "required": LARGE_K_FIT_FLOOR,
+        "backend": None,
+        "measured": None,
+    }
+    row = next((r for r in large_k_rows if r["k"] == LARGE_K_FLOOR_K), None)
+    if row is None:
+        return entry
+    fused = {
+        engine: fit["speedup_vs_numpy"]
+        for engine, fit in row["fit"].items()
+        if engine in NATIVE_BACKENDS and isinstance(fit, dict) and fit.get("available")
+    }
+    if fused:
+        entry["backend"] = max(fused, key=fused.get)
+        entry["measured"] = fused[entry["backend"]]
+    return entry
+
+
 def bench_workload(
     name: str, graph: Graph, repeats: int, quick: bool, fit_params: dict
 ) -> dict:
@@ -427,8 +477,25 @@ def main(argv: list[str] | None = None) -> int:
                     f"start {entry['winning_start']} wins)"
                 )
 
+    large_k_rows = []
+    for k in LARGE_K_QUICK_ORDERS if arguments.quick else LARGE_K_ORDERS:
+        row = bench_large_k(k, fit_params)
+        large_k_rows.append(row)
+        print(f"skg-k{k:<7d} n={row['n_nodes']:>8d} E={row['n_edges']:>8d}")
+        for engine, entry in row["fit"].items():
+            if engine == "params" or not isinstance(entry, dict):
+                continue
+            if entry.get("available"):
+                print(
+                    f"{'':12s}   fit[{engine}]   {entry['seconds'] * 1000:9.1f} ms "
+                    f"({entry['speedup_vs_numpy']:.1f}x vs numpy)"
+                )
+            else:
+                print(f"{'':12s}   fit[{engine}]   unavailable: {entry['reason']}")
+
     fused_floor = _fused_floor(results)
     multistart_floor = _multistart_floor(results, arguments.quick)
+    large_k_floor = _large_k_floor(large_k_rows)
     report = {
         "bench": "bench_kronfit",
         "schema_version": SCHEMA_VERSION,
@@ -439,7 +506,9 @@ def main(argv: list[str] | None = None) -> int:
         "chain_backends_available": list(available_chain_backends()),
         "fused_fit_floor": fused_floor,
         "multistart_floor": multistart_floor,
+        "large_k_fit_floor": large_k_floor,
         "workloads": results,
+        "large_k": large_k_rows,
     }
     out_path = Path(arguments.out)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -459,6 +528,20 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print("no fused chain engine available; fit floor not asserted")
+        if large_k_floor["backend"] is not None:
+            assert large_k_floor["measured"] >= LARGE_K_FIT_FLOOR, (
+                f"fused chain engine {large_k_floor['backend']} is only "
+                f"{large_k_floor['measured']:.2f}x over the numpy reference "
+                f"fit at k={LARGE_K_FLOOR_K} (floor: {LARGE_K_FIT_FLOOR}x)"
+            )
+            print(
+                f"k={LARGE_K_FLOOR_K} fused fit ({large_k_floor['backend']}) "
+                f"{large_k_floor['measured']:.2f}x >= {LARGE_K_FIT_FLOOR}x floor"
+            )
+        else:
+            print(
+                "no fused chain engine available; large-k fit floor not asserted"
+            )
     if multistart_floor["asserted"]:
         assert multistart_floor["measured"] >= MULTISTART_FLOOR, (
             f"multi-start S={MULTISTART_STARTS} at n_jobs={MULTISTART_JOBS[-1]} "

@@ -67,8 +67,9 @@ from repro.stats.kernels import available_kernel_backends, stats_context, triang
 
 # Bump when the JSON layout changes; tests/test_bench_artifacts.py keeps
 # the committed artifact in sync.  2 = added schema_version itself (the
-# PR 3 layout was the unversioned v1).
-SCHEMA_VERSION = 2
+# PR 3 layout was the unversioned v1); 3 = added the large-k scale rows
+# (native grass-hopping sampler trajectory + KronMom at k ∈ {16, 18, 20}).
+SCHEMA_VERSION = 3
 
 OUT_PATH = Path(__file__).parent / "out" / "BENCH_stats.json"
 THETA = Initiator(0.99, 0.45, 0.25)  # the paper's synthetic initiator
@@ -81,6 +82,15 @@ FORCED_BLOCK_SIZE = 256
 FUSED_SPEEDUP_FLOOR = 2.0
 PARALLEL_N_JOBS = (1, 2, 4)
 PARALLEL_TARGET_BLOCKS = 32
+
+# The large-k scale rows (PR 8): the native grass-hopping sampler and the
+# KronMom moment fit at orders far beyond the paper's k=14.  The fused
+# sampler must beat the numpy reference selection loop by >= 2x on the
+# k=18 draw (~4.4 * 10^5 edges); measured values land near 25x.
+LARGE_K_ORDERS = (16, 18, 20)
+LARGE_K_QUICK_ORDERS = (16,)
+SAMPLER_SPEEDUP_FLOOR = 2.0
+SAMPLER_FLOOR_K = 18
 
 
 def baseline_combined(graph: Graph):
@@ -202,6 +212,94 @@ def bench_parallel(graph: Graph, repeats: int) -> dict:
     }
 
 
+def bench_large_k(k: int, repeats: int) -> dict:
+    """One large-k scale row: sampler engine trajectory + KronMom fit.
+
+    Every available sampler engine draws the same seed and is checked
+    bit-identical against the numpy reference (the contract the sampler
+    equivalence matrix pins); the reference's selection loop is O(E)
+    Python, so it is timed with fewer repeats at the largest orders.
+    """
+    from repro.kronecker.kronmom import KronMomEstimator
+    from repro.native import sampling as native_sampling
+
+    seed = SEED + k
+    reference = sample_skg(THETA, k, seed=seed, backend="numpy")
+    reference_repeats = 1 if k >= 20 else max(2, repeats // 2)
+    engines: dict[str, dict] = {
+        "numpy": {
+            "available": True,
+            "seconds": time_best(
+                lambda: sample_skg(THETA, k, seed=seed, backend="numpy"),
+                reference_repeats,
+            ),
+        }
+    }
+    for backend in native_counting.FUSED_BACKENDS:
+        if not native_sampling.sampler_backend_available(backend):
+            engines[backend] = {
+                "available": False,
+                "reason": native_sampling.sampler_backend_error(backend),
+            }
+            continue
+        graph = sample_skg(THETA, k, seed=seed, backend=backend)
+        identical = graph.n_edges == reference.n_edges and all(
+            np.array_equal(got, want)
+            for got, want in zip(graph.edge_arrays, reference.edge_arrays)
+        )
+        if not identical:
+            raise AssertionError(
+                f"sampler backend {backend} diverges from numpy at k={k}"
+            )
+        engines[backend] = {
+            "available": True,
+            "bit_identical": True,
+            "seconds": time_best(
+                lambda: sample_skg(THETA, k, seed=seed, backend=backend), repeats
+            ),
+        }
+    numpy_seconds = engines["numpy"]["seconds"]
+    for record in engines.values():
+        if record.get("available"):
+            record["speedup_vs_numpy"] = numpy_seconds / record["seconds"]
+
+    estimator = KronMomEstimator()
+    kronmom_seconds = time_best(
+        lambda: estimator.fit(reference), max(2, repeats // 2)
+    )
+    fitted = estimator.fit(reference).initiator
+    return {
+        "k": k,
+        "n_nodes": reference.n_nodes,
+        "n_edges": reference.n_edges,
+        "sampler": engines,
+        "kronmom_seconds": kronmom_seconds,
+        "kronmom_initiator": [fitted.a, fitted.b, fitted.c],
+    }
+
+
+def _sampler_floor(large_k_rows: list[dict]) -> dict:
+    """The fastest fused sampler engine's speedup on the floor order."""
+    entry = {
+        "k": SAMPLER_FLOOR_K,
+        "required": SAMPLER_SPEEDUP_FLOOR,
+        "backend": None,
+        "measured": None,
+    }
+    row = next((r for r in large_k_rows if r["k"] == SAMPLER_FLOOR_K), None)
+    if row is None:
+        return entry
+    fused = {
+        backend: record["speedup_vs_numpy"]
+        for backend, record in row["sampler"].items()
+        if backend != "numpy" and record.get("available")
+    }
+    if fused:
+        entry["backend"] = max(fused, key=fused.get)
+        entry["measured"] = fused[entry["backend"]]
+    return entry
+
+
 def bench_workload(name: str, graph: Graph, repeats: int) -> dict:
     graph.adjacency
     graph.degrees
@@ -307,10 +405,29 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 print(f"{'':12s}   pass[{backend}] unavailable: {entry['reason']}")
 
+    large_k_rows = []
+    for k in LARGE_K_QUICK_ORDERS if arguments.quick else LARGE_K_ORDERS:
+        row = bench_large_k(k, arguments.repeats)
+        rss_trajectory.append({"phase": f"large-k{k}", "max_rss_kb": max_rss_kb()})
+        large_k_rows.append(row)
+        print(
+            f"skg-k{k:<8d} E={row['n_edges']:>8d} "
+            f"kronmom {row['kronmom_seconds'] * 1000:7.1f} ms"
+        )
+        for backend, entry in row["sampler"].items():
+            if entry.get("available"):
+                print(
+                    f"{'':12s}   sample[{backend}] {entry['seconds'] * 1000:8.1f} ms "
+                    f"({entry['speedup_vs_numpy']:.2f}x vs numpy)"
+                )
+            else:
+                print(f"{'':12s}   sample[{backend}] unavailable: {entry['reason']}")
+
     floor_record = next(
         (r for r in results if r["workload"] == SPEEDUP_WORKLOAD), None
     )
     fused_floor = _fused_floor(floor_record)
+    sampler_floor = _sampler_floor(large_k_rows)
     configuration = default_config()
     report = {
         "bench": "bench_stats",
@@ -330,7 +447,9 @@ def main(argv: list[str] | None = None) -> int:
             "measured": floor_record["speedup"] if floor_record else None,
         },
         "fused_speedup_floor": fused_floor,
+        "sampler_speedup_floor": sampler_floor,
         "workloads": results,
+        "large_k": large_k_rows,
         "rss_trajectory_kb": rss_trajectory,
     }
     out_path = Path(arguments.out)
@@ -359,6 +478,21 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 "no fused backend available on this host; "
                 "fused floor not asserted"
+            )
+        if sampler_floor["backend"] is not None:
+            assert sampler_floor["measured"] >= SAMPLER_SPEEDUP_FLOOR, (
+                f"fused sampler {sampler_floor['backend']} is only "
+                f"{sampler_floor['measured']:.2f}x over the numpy selection "
+                f"loop at k={SAMPLER_FLOOR_K} (floor: {SAMPLER_SPEEDUP_FLOOR}x)"
+            )
+            print(
+                f"k={SAMPLER_FLOOR_K} fused sampler ({sampler_floor['backend']}) "
+                f"{sampler_floor['measured']:.2f}x >= {SAMPLER_SPEEDUP_FLOOR}x floor"
+            )
+        else:
+            print(
+                "no fused sampler backend available on this host; "
+                "sampler floor not asserted"
             )
     return 0
 

@@ -91,6 +91,36 @@ def _build_synthetic_kronecker(rng: np.random.Generator) -> Graph:
     return sample_skg(initiator, 14, seed=rng)
 
 
+def _build_skg_at(k: int) -> Callable[[np.random.Generator], Graph]:
+    # The large-k scale axis (ROADMAP open item 1): the paper's initiator
+    # at k far beyond the paper's 2^14 nodes.  The grass-hopping sampler
+    # is O(E + k²), so even k=20 (10⁶ nodes, ~2·10⁶ edges) builds in
+    # seconds with the fused kernels.
+    def build(rng: np.random.Generator) -> Graph:
+        from repro.kronecker.initiator import Initiator
+        from repro.kronecker.sampling import sample_skg
+
+        return sample_skg(Initiator(0.99, 0.45, 0.25), k, seed=rng)
+
+    return build
+
+
+def _large_k_spec(k: int, default_seed: int) -> DatasetSpec:
+    return DatasetSpec(
+        name=f"skg-k{k}",
+        paper_nodes=2**k,
+        paper_edges=-1,  # a random quantity, as with synthetic-kronecker
+        description=(
+            f"Large-scale stochastic Kronecker graph: the paper's initiator "
+            f"[[0.99, 0.45], [0.45, 0.25]] at k = {k} ({2**k} nodes) — the "
+            "beyond-paper scale axis for estimator cross-checks."
+        ),
+        kind="synthetic",
+        default_seed=default_seed,
+        builder=_build_skg_at(k),
+    )
+
+
 _REGISTRY: dict[str, DatasetSpec] = {
     spec.name: spec
     for spec in [
@@ -147,6 +177,9 @@ _REGISTRY: dict[str, DatasetSpec] = {
             default_seed=1205,
             builder=_build_synthetic_kronecker,
         ),
+        _large_k_spec(16, default_seed=1216),
+        _large_k_spec(18, default_seed=1218),
+        _large_k_spec(20, default_seed=1220),
     ]
 }
 

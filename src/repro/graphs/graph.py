@@ -57,6 +57,7 @@ class Graph:
         "_degrees",
         "_hash",
         "_stats",
+        "_shm",
     )
 
     def __init__(self, n_nodes: int, edges: Iterable[tuple[int, int]] = ()) -> None:
@@ -88,6 +89,7 @@ class Graph:
         self._degrees: np.ndarray | None = None
         self._hash: int | None = None
         self._stats = None  # lazy StatsContext (see repro.stats.kernels)
+        self._shm = None  # active share token (see repro.runtime.shm)
 
     # ------------------------------------------------------------------
     # Alternate constructors
@@ -125,6 +127,7 @@ class Graph:
         graph._degrees = None
         graph._hash = None
         graph._stats = None
+        graph._shm = None
         return graph
 
     @classmethod
@@ -301,6 +304,17 @@ class Graph:
         return self._hash
 
     def __reduce__(self):
+        # While the trial engine has this instance published to a shared
+        # segment (repro.runtime.shm stamps the token for the duration of
+        # a pool session), pickle to the ~100-byte attach token instead of
+        # the arrays: pool workers rebuild the graph over zero-copy views
+        # of the segment.  The token is instance- and session-scoped, so
+        # anything pickled outside the session (cache entries, results,
+        # fresh instances) takes the by-value path below.
+        if self._shm is not None:
+            from repro.runtime.shm import _attach_graph
+
+            return (_attach_graph, (self._shm,))
         # Pickle only the canonical arrays: the derived caches (adjacency,
         # degrees, stats context) are cheap to rebuild relative to shipping
         # them across process boundaries, and the trial engine pickles

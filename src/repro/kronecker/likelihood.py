@@ -258,6 +258,14 @@ class PermutationSampler:
             self._indices32 = np.ascontiguousarray(self._indices, dtype=np.int32)
         self._n_cells = (k + 1) * (k + 1)
         self._counts = np.zeros(self._n_cells, dtype=np.int64)
+        # Delta-scan scratch: a proposal touches at most 2·(deg i + deg j)
+        # cells, so 4·max_deg bounds the per-proposal event list (+8 slack
+        # for degenerate graphs).  stats[0] accumulates score-table touches
+        # across every engine — the observable the O(k²)-rescan regression
+        # test pins (see the delta-scan contract in repro.native.chain).
+        max_deg = int(np.diff(self._indptr).max()) if graph.n_edges else 0
+        self._touched = np.zeros(4 * max_deg + 8, dtype=np.int64)
+        self._stats = np.zeros(1, dtype=np.int64)
         self._tables: _LogTables | None = None
         self.set_sigma(
             np.asarray(sigma, dtype=np.int64).copy()
@@ -331,6 +339,17 @@ class PermutationSampler:
             (tables.log_p - tables.log_1mp)[z, o].sum()
         )
 
+    @property
+    def score_touches(self) -> int:
+        """Total score-table cells read while scanning proposal deltas.
+
+        Every engine increments this once per *distinct nonzero* touched
+        cell per proposal — O(deg i + deg j) per swap, never O(k²).  The
+        delta-scan regression tests assert this stays proportional to the
+        touched neighbourhoods rather than the full profile table.
+        """
+        return int(self._stats[0])
+
     def histogram(self) -> np.ndarray:
         """Profile histogram of the current σ (input to ProfileLikelihood).
 
@@ -370,6 +389,8 @@ class PermutationSampler:
                         self._score,
                         self._hist,
                         self._counts,
+                        self._touched,
+                        self._stats,
                         i_nodes,
                         j_nodes,
                         log_u,
@@ -392,15 +413,18 @@ class PermutationSampler:
         """
         sigma = self.sigma
         accepted = 0
+        touches = 0
         for t in range(start, stop):
             i = int(i_nodes[t])
             j = int(j_nodes[t])
-            counts = self._count_delta(i, j)
-            delta = self._scan_delta(counts)
+            counts, touched = self._count_delta(i, j)
+            delta, scanned = self._scan_delta(counts, touched)
+            touches += scanned
             if delta >= 0.0 or log_u[t] < delta:
                 sigma[i], sigma[j] = sigma[j], sigma[i]
-                self._hist += counts
+                self._hist[touched] += counts[touched]
                 accepted += 1
+        self._stats[0] += touches
         return accepted
 
     def _neighbors(self, node: int) -> np.ndarray:
@@ -413,12 +437,15 @@ class PermutationSampler:
         z = self.k - x - o
         return z * (self.k + 1) + o
 
-    def _count_delta(self, i: int, j: int) -> np.ndarray:
+    def _count_delta(self, i: int, j: int) -> tuple[np.ndarray, np.ndarray]:
         """Integer profile-histogram change of swapping σ(i) and σ(j).
 
         Exact (increment arithmetic), hence independent of neighbour
         order.  The i-j edge (if any) keeps its profile and is excluded
-        symmetrically.
+        symmetrically.  Returns ``(counts, touched)`` where ``touched``
+        is the ascending deduplicated list of cells any event landed in
+        (``np.unique`` of the old/new cell streams) — the delta-scan
+        contract's touched set.
         """
         sigma = self.sigma
         id_i, id_j = int(sigma[i]), int(sigma[j])
@@ -434,26 +461,35 @@ class PermutationSampler:
         new_cells = np.concatenate(
             [self._cells(id_j, ids_i), self._cells(id_i, ids_j)]
         )
-        return np.bincount(new_cells, minlength=self._n_cells).astype(
+        counts = np.bincount(new_cells, minlength=self._n_cells).astype(
             np.int64, copy=False
         ) - np.bincount(old_cells, minlength=self._n_cells).astype(
             np.int64, copy=False
         )
+        touched = np.unique(np.concatenate([old_cells, new_cells]))
+        return counts, touched
 
-    def _scan_delta(self, counts: np.ndarray) -> float:
-        """Σ counts[cell] · score[cell] in ascending cell order.
+    def _scan_delta(
+        self, counts: np.ndarray, touched: np.ndarray
+    ) -> tuple[float, int]:
+        """Σ counts[cell] · score[cell] over the touched cells, ascending.
 
         The scan is a scalar Python loop on purpose: numpy's pairwise
         summation would round differently from the compiled kernels'
         sequential accumulation, breaking cross-engine bit-identity.
-        ``np.nonzero`` yields ascending cells — the same order as the
-        kernels' guarded 0..(k+1)²−1 scan.
+        ``touched`` (``np.unique`` output) is ascending and deduplicated —
+        the same cell sequence as the kernels' sorted dup-skipping event
+        scan, and every nonzero-count cell is in it.  Returns the delta
+        and the number of score-table cells actually read.
         """
         score = self._score
         delta = 0.0
-        for cell in np.nonzero(counts)[0]:
-            delta += counts[cell] * score[cell]
-        return delta
+        scanned = 0
+        for cell in touched:
+            if counts[cell] != 0:
+                delta += counts[cell] * score[cell]
+                scanned += 1
+        return delta, scanned
 
     def _swap_delta(self, i: int, j: int) -> float:
         """Change in the edge term if σ(i) and σ(j) were exchanged.
@@ -461,7 +497,9 @@ class PermutationSampler:
         Diagnostic view of the score contract (does not mutate state);
         exactly the delta every engine computes for proposal (i, j).
         """
-        return self._scan_delta(self._count_delta(i, j))
+        counts, touched = self._count_delta(i, j)
+        delta, _ = self._scan_delta(counts, touched)
+        return delta
 
 
 def degree_matched_initial_sigma(graph: Graph, k: int) -> np.ndarray:

@@ -17,6 +17,14 @@ each unordered pair {u, v} an independent edge with probability
   for every k.  (Leskovec's widely used "ball dropping" generator is only
   approximate; this sampler is not.)
 
+``sample_skg`` executes behind the ``REPRO_KERNEL_BACKEND`` knob like the
+counting pass and the Metropolis chain: the pure-Python reference engine
+defined here, or the fused numba / compiled-C selection kernel of
+:mod:`repro.native.sampling`.  All engines consume the same pre-drawn
+streams (the draw contract documented there) and run the same Floyd
+selection + combination unranking, so the sampled graph is
+**bit-identical** across engines for every seed.
+
 Both samplers agree in distribution; tests check profile-class counts and
 expected statistics across thousands of draws.
 """
@@ -30,6 +38,11 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.graphs.graph import Graph
 from repro.kronecker.initiator import as_initiator
+from repro.native.sampling import (
+    choose_table,
+    resolve_sampler_backend,
+    sampler_kernel,
+)
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_integer
 
@@ -59,13 +72,28 @@ def profile_class_size(k: int, z: int, x: int, o: int) -> int:
     return comb(k, z) * comb(k - z, x) * 2 ** (x - 1)
 
 
-def sample_skg(initiator, k: int, seed: SeedLike = None) -> Graph:
-    """Draw one undirected SKG on ``2^k`` nodes by exact grass-hopping."""
+def sample_skg(
+    initiator, k: int, seed: SeedLike = None, backend: str | None = None
+) -> Graph:
+    """Draw one undirected SKG on ``2^k`` nodes by exact grass-hopping.
+
+    ``backend`` selects the pair-selection engine (``auto``/``numpy``/
+    ``numba``/``cext``; default: the ``REPRO_KERNEL_BACKEND``
+    environment knob) — the sampled graph is bit-identical across
+    engines for any seed.
+    """
     theta = as_initiator(initiator)
     k = check_integer(k, "k", minimum=1)
     rng = as_generator(seed)
+    engine = resolve_sampler_backend(backend)
     n = 2**k
-    chunks: list[np.ndarray] = []
+    # Draw contract, part 1: per-class binomial counts in ascending
+    # (z, x) order, skipping empty and zero-probability classes before
+    # any draw.
+    z_list: list[int] = []
+    x_list: list[int] = []
+    count_list: list[int] = []
+    size_list: list[int] = []
     for z in range(k + 1):
         for x in range(k - z + 1):
             o = k - z - x
@@ -78,64 +106,174 @@ def sample_skg(initiator, k: int, seed: SeedLike = None) -> Graph:
             count = int(rng.binomial(class_size, probability))
             if count == 0:
                 continue
-            chunks.append(_sample_class_pairs(rng, k, z, x, count, class_size))
-    if not chunks:
+            z_list.append(z)
+            x_list.append(x)
+            count_list.append(count)
+            size_list.append(class_size)
+    if not count_list:
         return Graph(n)
+    counts = np.asarray(count_list, dtype=np.int64)
+    offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(counts, dtype=np.int64)[:-1]]
+    )
+    total = int(counts.sum())
+    # Draw contract, part 2: one flat uniform stream, count values per
+    # class in the same ascending order.
+    uniforms = rng.random(total)
+    z_arr = np.asarray(z_list, dtype=np.int64)
+    x_arr = np.asarray(x_list, dtype=np.int64)
+    class_sizes = np.asarray(size_list, dtype=np.int64)
+    choose = choose_table(k)
+    if engine == "numpy":
+        keys = _reference_select(
+            k, z_arr, x_arr, counts, offsets, class_sizes, choose, uniforms
+        )
+    else:
+        kernel = sampler_kernel(engine)
+        capacity = 16
+        while capacity < 2 * int(counts.max()):
+            capacity *= 2
+        keys = np.zeros(total, dtype=np.int64)
+        table_keys = np.zeros(capacity, dtype=np.int64)
+        table_stamp = np.zeros(capacity, dtype=np.int64)
+        written = int(
+            kernel(
+                k,
+                counts.shape[0],
+                z_arr,
+                x_arr,
+                counts,
+                offsets,
+                class_sizes,
+                choose,
+                uniforms,
+                keys,
+                table_keys,
+                table_stamp,
+                capacity,
+            )
+        )
+        if written != total:
+            raise RuntimeError(
+                f"sampler kernel wrote {written} keys, expected {total}"
+            )
     # Keys within a class are distinct and classes are disjoint, so one
     # global sort yields canonical edge arrays directly: the key
     # (u << k) | v with u < v orders exactly like the lexicographic (u, v)
     # pair, which lets the trusted constructor skip re-canonicalization.
-    keys = np.sort(np.concatenate(chunks))
+    keys = np.sort(keys)
     u = (keys >> np.int64(k)).astype(np.int64)
     v = (keys & np.int64(n - 1)).astype(np.int64)
     return Graph._from_canonical(n, u, v)
 
 
-def _sample_class_pairs(
-    rng: np.random.Generator, k: int, z: int, x: int, count: int, class_size: int
+def _reference_select(
+    k: int,
+    z_arr: np.ndarray,
+    x_arr: np.ndarray,
+    counts: np.ndarray,
+    offsets: np.ndarray,
+    class_sizes: np.ndarray,
+    choose: np.ndarray,
+    uniforms: np.ndarray,
 ) -> np.ndarray:
-    """``count`` distinct uniform pairs from profile class (z, x, k-z-x).
+    """The numpy reference engine: Floyd selection + unranking per class.
 
-    Pairs are encoded as int64 keys ``(u << k) | v`` with u < v.  Sampling
-    is with-replacement plus dedup and top-up; by pair exchangeability
-    within the class, keeping the first ``count`` distinct draws is uniform
-    without replacement.  ``class_size`` bounds the loop for tiny classes.
+    The same selection and unranking contracts as the fused kernels
+    (:mod:`repro.native.sampling`), with a Python ``set`` as the
+    membership structure — the emitted index sequence, and hence every
+    key, is identical.
     """
-    count = min(count, class_size)
-    keys = np.empty(0, dtype=np.int64)
-    while keys.size < count:
-        need = count - keys.size
-        batch = max(2 * need, 16)
-        keys = np.unique(np.concatenate([keys, _draw_class_keys(rng, k, z, x, batch)]))
-    if keys.size > count:
-        keys = rng.choice(keys, size=count, replace=False)
+    keys = np.zeros(uniforms.shape[0], dtype=np.int64)
+    for c in range(counts.shape[0]):
+        count = int(counts[c])
+        z = int(z_arr[c])
+        x = int(x_arr[c])
+        size = int(class_sizes[c])
+        base = int(offsets[c])
+        seen: set[int] = set()
+        emitted = 0
+        for t in range(size - count, size):
+            u = float(uniforms[base + emitted])
+            r = int(u * (t + 1.0))
+            if r > t:
+                r = t
+            if r in seen:
+                idx = t
+            else:
+                idx = r
+            seen.add(idx)
+            keys[base + emitted] = _unrank_pair_key(k, z, x, idx, choose)
+            emitted += 1
     return keys
 
 
-def _draw_class_keys(
-    rng: np.random.Generator, k: int, z: int, x: int, batch: int
-) -> np.ndarray:
-    """``batch`` uniform (with replacement) pair keys from class (z, x, o)."""
-    # Random level-type assignment: argsort of uniforms is a uniform
-    # permutation per row; the first z permuted levels get type both-0,
-    # the next x get type differ, the rest get type both-1.
-    order = np.argsort(rng.random((batch, k)), axis=1)
-    u_bits = np.zeros((batch, k), dtype=np.int64)
-    v_bits = np.zeros((batch, k), dtype=np.int64)
-    differ_levels = order[:, z : z + x]
-    one_levels = order[:, z + x :]
-    rows = np.arange(batch)[:, None]
-    orientation = rng.integers(0, 2, size=differ_levels.shape, dtype=np.int64)
-    u_bits[rows, differ_levels] = orientation
-    v_bits[rows, differ_levels] = 1 - orientation
-    u_bits[rows, one_levels] = 1
-    v_bits[rows, one_levels] = 1
-    weights = np.int64(1) << np.arange(k - 1, -1, -1, dtype=np.int64)
-    u = u_bits @ weights
-    v = v_bits @ weights
-    lo = np.minimum(u, v)
-    hi = np.maximum(u, v)
-    return (lo << np.int64(k)) | hi
+def _unrank_pair_key(
+    k: int, z: int, x: int, idx: int, choose: np.ndarray
+) -> int:
+    """Pair key ``(u << k) | v`` of class index ``idx`` in class (z, x).
+
+    The unranking contract of :mod:`repro.native.sampling`: ``idx``
+    decomposes into the both-0 level combination, the differing-level
+    combination of the remaining levels, and the orientation word; the
+    most significant differing level is fixed ``u=0 / v=1`` so ``u < v``.
+    """
+    kp1 = k + 1
+    n_orient = 1 << (x - 1)
+    c2 = int(choose[(k - z) * kp1 + x])
+    a = idx // (c2 * n_orient)
+    rem = idx % (c2 * n_orient)
+    b = rem // n_orient
+    w = rem % n_orient
+    zero_mask = 0
+    slots = z
+    aa = a
+    for level in range(k):
+        if slots == 0:
+            break
+        cnt = int(choose[(k - 1 - level) * kp1 + (slots - 1)])
+        if aa < cnt:
+            zero_mask |= 1 << (k - 1 - level)
+            slots -= 1
+        else:
+            aa -= cnt
+    differ_mask = 0
+    m = k - z
+    pos = 0
+    bb = b
+    slots = x
+    for level in range(k):
+        if slots == 0:
+            break
+        bit = 1 << (k - 1 - level)
+        if zero_mask & bit:
+            continue
+        cnt = int(choose[(m - 1 - pos) * kp1 + (slots - 1)])
+        if bb < cnt:
+            differ_mask |= bit
+            slots -= 1
+        else:
+            bb -= cnt
+        pos += 1
+    one_mask = ((1 << k) - 1) & ~zero_mask & ~differ_mask
+    u_val = one_mask
+    v_val = one_mask
+    first = True
+    tw = 0
+    for level in range(k):
+        bit = 1 << (k - 1 - level)
+        if not (differ_mask & bit):
+            continue
+        if first:
+            v_val |= bit
+            first = False
+        else:
+            if (w >> tw) & 1:
+                u_val |= bit
+            else:
+                v_val |= bit
+            tw += 1
+    return (u_val << k) | v_val
 
 
 def sample_skg_naive(initiator, k: int, seed: SeedLike = None) -> Graph:

@@ -25,11 +25,25 @@ depend on the engine or on how a run is chunked into kernel batches.
 ``Σ_cells Δcount[cell] · score[cell]`` where ``score = log P − log(1−P)``
 per profile cell and ``Δcount`` is the *integer* profile-histogram change
 — computed exactly (increments), hence order-independent.  The float
-accumulation scans cells in ascending index order, skipping zero counts;
-the numpy reference performs the identical scan (``np.nonzero`` yields
-ascending cells), so the sum sequence — and therefore every accept/reject
-decision — is bit-identical across engines.  (The cext build passes
-``-ffp-contract=off`` so no FMA contraction can perturb the rounding.)
+accumulation visits the *touched* cells in ascending index order,
+skipping zero counts; the numpy reference performs the identical scan
+(``np.unique`` yields ascending touched cells), so the sum sequence —
+and therefore every accept/reject decision — is bit-identical across
+engines.  (The cext build passes ``-ffp-contract=off`` so no FMA
+contraction can perturb the rounding.)
+
+**The delta-scan contract.**  Every ``counts[]`` update records its cell
+in a touched-cell event list (at most ``2·(deg i + deg j)`` events per
+proposal); the per-proposal scan, histogram fold, and scratch reset all
+walk that list instead of the full ``(k+1)²`` table.  A proposal on a
+sparse graph therefore costs O(deg) rather than O(deg + k²) — the two
+full-table rescans PR 4 paid per swap are gone.  Because any cell with a
+nonzero count necessarily appears in the event list, sorting the events
+and skipping duplicates reproduces the full ascending scan's float
+accumulation sequence exactly: the optimization cannot perturb a single
+trajectory.  ``stats[0]`` accumulates the number of score-table touches
+(nonzero cells accumulated), which is how tests prove the O(k²) rescan
+stays gone.
 
 **The histogram contract.**  ``Δcount`` of an accepted swap is folded
 into the persistent profile histogram, so the histogram is maintained
@@ -116,6 +130,8 @@ def chain_block(
     score,
     hist,
     counts,
+    touched,
+    stats,
     i_nodes,
     j_nodes,
     log_u,
@@ -129,8 +145,11 @@ def chain_block(
     Kronecker order ``k``, the flat ``(k+1)²`` float64 score table
     ``log P − log(1−P)``, the flat int64 profile histogram (maintained
     incrementally), an all-zero int64 scratch of the same length (left
-    all-zero), and the three draw-contract streams.  Returns the number
-    of accepted swaps.
+    all-zero), the touched-cell event scratch (int64, at least
+    ``2·(deg i + deg j)`` long for any proposal — ``4·max_degree``
+    suffices), the int64 ``stats`` accumulator (``stats[0]`` gains the
+    number of score-table touches), and the three draw-contract streams.
+    Returns the number of accepted swaps.
     """
 
     def popcount(v):
@@ -144,8 +163,8 @@ def chain_block(
         v = v + (v >> 32)
         return v & 0x7F
 
-    n_cells = (k + 1) * (k + 1)
     accepted = 0
+    touches = 0
     for t in range(start, stop):
         i = i_nodes[t]
         j = j_nodes[t]
@@ -154,7 +173,9 @@ def chain_block(
         # Net profile-count change of swapping sigma(i) and sigma(j): the
         # edges at i trade center id id_i for id_j, the edges at j trade
         # id_j for id_i; the i-j edge (if any) keeps its profile and is
-        # excluded symmetrically.
+        # excluded symmetrically.  Every counts[] update logs its cell in
+        # the touched event list (the delta-scan contract).
+        n_touched = 0
         for idx in range(indptr[i], indptr[i + 1]):
             w = indices[idx]
             if w == j:
@@ -162,10 +183,16 @@ def chain_block(
             wid = sigma[w]
             x = popcount(id_i ^ wid)
             o = popcount(id_i & wid)
-            counts[(k - x - o) * (k + 1) + o] -= 1
+            cell = (k - x - o) * (k + 1) + o
+            counts[cell] -= 1
+            touched[n_touched] = cell
+            n_touched += 1
             x = popcount(id_j ^ wid)
             o = popcount(id_j & wid)
-            counts[(k - x - o) * (k + 1) + o] += 1
+            cell = (k - x - o) * (k + 1) + o
+            counts[cell] += 1
+            touched[n_touched] = cell
+            n_touched += 1
         for idx in range(indptr[j], indptr[j + 1]):
             w = indices[idx]
             if w == i:
@@ -173,27 +200,53 @@ def chain_block(
             wid = sigma[w]
             x = popcount(id_j ^ wid)
             o = popcount(id_j & wid)
-            counts[(k - x - o) * (k + 1) + o] -= 1
+            cell = (k - x - o) * (k + 1) + o
+            counts[cell] -= 1
+            touched[n_touched] = cell
+            n_touched += 1
             x = popcount(id_i ^ wid)
             o = popcount(id_i & wid)
-            counts[(k - x - o) * (k + 1) + o] += 1
-        # Ascending-cell scan, skipping zero counts: the accumulation
-        # order every engine (incl. the numpy reference) reproduces.
+            cell = (k - x - o) * (k + 1) + o
+            counts[cell] += 1
+            touched[n_touched] = cell
+            n_touched += 1
+        # Insertion-sort the event list ascending: event counts are tiny
+        # (2·(deg i + deg j)) and mostly short, where insertion sort beats
+        # anything with setup cost — and identical ordering across the
+        # twins keeps the accumulation sequence bit-reproducible.
+        for a in range(1, n_touched):
+            key = touched[a]
+            b = a - 1
+            while b >= 0 and touched[b] > key:
+                touched[b + 1] = touched[b]
+                b -= 1
+            touched[b + 1] = key
+        # Ascending touched-cell scan, skipping duplicates and zero
+        # counts: the same accumulation sequence as a full ascending
+        # 0..(k+1)²−1 scan, because untouched cells have zero counts.
         delta = 0.0
-        for cell in range(n_cells):
+        previous = -1
+        for a in range(n_touched):
+            cell = touched[a]
+            if cell == previous:
+                continue
+            previous = cell
             if counts[cell] != 0:
                 delta += counts[cell] * score[cell]
+                touches += 1
         if delta >= 0.0 or log_u[t] < delta:
             sigma[i] = id_j
             sigma[j] = id_i
             accepted += 1
-            for cell in range(n_cells):
+            for a in range(n_touched):
+                cell = touched[a]
                 if counts[cell] != 0:
                     hist[cell] += counts[cell]
                     counts[cell] = 0
         else:
-            for cell in range(n_cells):
-                counts[cell] = 0
+            for a in range(n_touched):
+                counts[touched[a]] = 0
+    stats[0] += touches
     return accepted
 
 
@@ -222,20 +275,23 @@ int64_t repro_chain_block(
     const double *score,
     int64_t *hist,
     int64_t *counts,
+    int64_t *touched,
+    int64_t *stats,
     const int64_t *i_nodes,
     const int64_t *j_nodes,
     const double *log_u,
     int64_t start,
     int64_t stop)
 {
-    int64_t n_cells = (k + 1) * (k + 1);
     int64_t accepted = 0;
+    int64_t touches = 0;
     for (int64_t t = start; t < stop; t++) {
         int64_t i = i_nodes[t];
         int64_t j = j_nodes[t];
         int64_t id_i = sigma[i];
         int64_t id_j = sigma[j];
-        int64_t x, o, wid;
+        int64_t x, o, wid, cell;
+        int64_t n_touched = 0;
         for (int32_t idx = indptr[i]; idx < indptr[i + 1]; idx++) {
             int32_t w = indices[idx];
             if (w == j) {
@@ -244,10 +300,14 @@ int64_t repro_chain_block(
             wid = sigma[w];
             x = repro_popcount(id_i ^ wid);
             o = repro_popcount(id_i & wid);
-            counts[(k - x - o) * (k + 1) + o] -= 1;
+            cell = (k - x - o) * (k + 1) + o;
+            counts[cell] -= 1;
+            touched[n_touched++] = cell;
             x = repro_popcount(id_j ^ wid);
             o = repro_popcount(id_j & wid);
-            counts[(k - x - o) * (k + 1) + o] += 1;
+            cell = (k - x - o) * (k + 1) + o;
+            counts[cell] += 1;
+            touched[n_touched++] = cell;
         }
         for (int32_t idx = indptr[j]; idx < indptr[j + 1]; idx++) {
             int32_t w = indices[idx];
@@ -257,33 +317,55 @@ int64_t repro_chain_block(
             wid = sigma[w];
             x = repro_popcount(id_j ^ wid);
             o = repro_popcount(id_j & wid);
-            counts[(k - x - o) * (k + 1) + o] -= 1;
+            cell = (k - x - o) * (k + 1) + o;
+            counts[cell] -= 1;
+            touched[n_touched++] = cell;
             x = repro_popcount(id_i ^ wid);
             o = repro_popcount(id_i & wid);
-            counts[(k - x - o) * (k + 1) + o] += 1;
+            cell = (k - x - o) * (k + 1) + o;
+            counts[cell] += 1;
+            touched[n_touched++] = cell;
+        }
+        for (int64_t a = 1; a < n_touched; a++) {
+            int64_t key = touched[a];
+            int64_t b = a - 1;
+            while (b >= 0 && touched[b] > key) {
+                touched[b + 1] = touched[b];
+                b -= 1;
+            }
+            touched[b + 1] = key;
         }
         double delta = 0.0;
-        for (int64_t cell = 0; cell < n_cells; cell++) {
+        int64_t previous = -1;
+        for (int64_t a = 0; a < n_touched; a++) {
+            cell = touched[a];
+            if (cell == previous) {
+                continue;
+            }
+            previous = cell;
             if (counts[cell] != 0) {
                 delta += (double)counts[cell] * score[cell];
+                touches += 1;
             }
         }
         if (delta >= 0.0 || log_u[t] < delta) {
             sigma[i] = id_j;
             sigma[j] = id_i;
             accepted += 1;
-            for (int64_t cell = 0; cell < n_cells; cell++) {
+            for (int64_t a = 0; a < n_touched; a++) {
+                cell = touched[a];
                 if (counts[cell] != 0) {
                     hist[cell] += counts[cell];
                     counts[cell] = 0;
                 }
             }
         } else {
-            for (int64_t cell = 0; cell < n_cells; cell++) {
-                counts[cell] = 0;
+            for (int64_t a = 0; a < n_touched; a++) {
+                counts[touched[a]] = 0;
             }
         }
     }
+    stats[0] += touches;
     return accepted;
 }
 """
@@ -306,12 +388,14 @@ def _smoke_test(kernel: Callable) -> None:
     )
     hist = np.zeros(9, dtype=np.int64)
     counts = np.zeros(9, dtype=np.int64)
+    touched = np.zeros(16, dtype=np.int64)
+    stats = np.zeros(1, dtype=np.int64)
     i_nodes = np.array([1, 0, 0, 0], dtype=np.int64)
     j_nodes = np.array([3, 2, 1, 1], dtype=np.int64)
     log_u = np.array([-2.0, -0.5, -0.5, -0.5], dtype=np.float64)
     accepted = int(
-        kernel(indptr, indices, sigma, 2, score, hist, counts,
-               i_nodes, j_nodes, log_u, 0, 4)
+        kernel(indptr, indices, sigma, 2, score, hist, counts, touched,
+               stats, i_nodes, j_nodes, log_u, 0, 4)
     )
     expected_hist = np.zeros(9, dtype=np.int64)
     expected_hist[0] = -1
@@ -320,10 +404,12 @@ def _smoke_test(kernel: Callable) -> None:
         accepted != 3
         or sigma.tolist() != [3, 2, 0, 1]
         or not np.array_equal(hist, expected_hist)
+        or int(stats[0]) != 8
     ):
         raise RuntimeError(
             f"chain kernel self-check failed: accepted={accepted}, "
-            f"sigma={sigma.tolist()}, hist={hist.tolist()}"
+            f"sigma={sigma.tolist()}, hist={hist.tolist()}, "
+            f"touches={int(stats[0])}"
         )
     if counts.any():
         raise RuntimeError("chain kernel self-check failed: counts not zeroed")
@@ -347,6 +433,8 @@ CHAIN_KERNEL = NativeKernel(
         _FLOAT64_ARG,  # score (flat (k+1)^2)
         _INT64_ARG,  # hist (flat (k+1)^2)
         _INT64_ARG,  # counts scratch (flat (k+1)^2)
+        _INT64_ARG,  # touched scratch (event list)
+        _INT64_ARG,  # stats (score-table touch accumulator)
         _INT64_ARG,  # i_nodes
         _INT64_ARG,  # j_nodes
         _FLOAT64_ARG,  # log_u

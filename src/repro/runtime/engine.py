@@ -67,6 +67,7 @@ import atexit
 import concurrent.futures
 import os
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack
 import threading
 import time
 import traceback
@@ -76,6 +77,7 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.graphs.graph import Graph
 from repro.runtime.cache import TrialCache
 from repro.runtime.faults import (
     CRASH_EXIT_CODE,
@@ -87,6 +89,7 @@ from repro.runtime.faults import (
     resolve_fault_plan,
 )
 from repro.runtime.hashing import trial_key
+from repro.runtime.shm import share_graph
 from repro.runtime.spec import TrialFailure, TrialRunReport, TrialSpec
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_integer
@@ -371,6 +374,23 @@ class _TrialOutcome:
     attempts: int = 1
 
 
+def _shared_graph_params(
+    specs: Sequence[TrialSpec], pending: Sequence[int]
+) -> list[Graph]:
+    """Distinct Graph instances appearing in the pending specs' params.
+
+    Deduplicated by identity: fan-outs (multi-start fits, block groups)
+    reference one graph object from many specs, and one segment serves
+    them all.
+    """
+    seen: dict[int, Graph] = {}
+    for position in pending:
+        for value in specs[position].params.values():
+            if isinstance(value, Graph) and id(value) not in seen:
+                seen[id(value)] = value
+    return list(seen.values())
+
+
 def run_trials(
     specs: Iterable[TrialSpec],
     *,
@@ -508,10 +528,22 @@ def run_trials(
                 outcome = _execute_trial(specs[position], seeds[position], settings)
                 state.fold(position, specs[position], outcome)
         else:
-            restarts = _collect(
-                specs, seeds, pending, state, base, trial_faults,
-                n_jobs=n_jobs, pool=pool, restart_budget=restart_budget,
-            )
+            # Publish large graphs appearing in pending trial params to
+            # shared memory for the duration of the pool session: every
+            # task payload then pickles an attach token instead of the
+            # edge arrays (see repro.runtime.shm).  Cache keys were
+            # computed above — before any token existed — and worker
+            # results are fresh instances, so nothing cacheable can
+            # observe a token.  The ExitStack's unwind is the single
+            # release point; worker crashes and pool rebuilds inside
+            # _collect re-attach by name against the still-open segments.
+            with ExitStack() as session:
+                for graph in _shared_graph_params(specs, pending):
+                    session.enter_context(share_graph(graph))
+                restarts = _collect(
+                    specs, seeds, pending, state, base, trial_faults,
+                    n_jobs=n_jobs, pool=pool, restart_budget=restart_budget,
+                )
 
     elapsed = time.perf_counter() - start
     _logger.info(

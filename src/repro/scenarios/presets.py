@@ -42,6 +42,7 @@ __all__ = [
     "baseline_scoring_scenarios",
     "figure_scenarios",
     "expected_ensemble_scenario",
+    "large_k_scenarios",
     "scenario_grid",
 ]
 
@@ -320,7 +321,48 @@ def scenario_grid(
     return tuple(scenarios)
 
 
+LARGE_K_DATASETS = ("skg-k16", "skg-k18", "skg-k20")
+LARGE_K_METHODS = ("KronMom", "KronFit")
+
+
+def large_k_scenarios(
+    config,
+    datasets: Sequence[str] = LARGE_K_DATASETS,
+    methods: Sequence[str] = LARGE_K_METHODS,
+) -> tuple[ScenarioSpec, ...]:
+    """The beyond-paper scale axis: KronMom vs KronFit at k ∈ {16, 18, 20}.
+
+    One single-fit cell per (dataset, method) on the large synthetic SKG
+    workloads, all sampled from the paper's initiator [[0.99, 0.45],
+    [0.45, 0.25]].  Both estimators recover the known ground truth at
+    each scale, so the grid is a cross-check of the whole scale path —
+    the grass-hopping sampler that builds the million-edge workloads,
+    the moment pipeline, and the delta-scan Metropolis chain — against
+    itself and against the truth.  Spawn seed policies keep every cell
+    bit-identical at any worker count.
+    """
+    scenarios: list[ScenarioSpec] = []
+    for dataset_index, dataset in enumerate(datasets):
+        for method_index, method in enumerate(methods):
+            scenarios.append(
+                ScenarioSpec(
+                    name=f"large-k:{dataset}:{method}",
+                    workload=dataset,
+                    estimator=estimator_axis(method, config),
+                    epsilon=config.epsilon,
+                    delta=config.delta,
+                    ensemble_size=1,
+                    seed_policy=spawn_seeds(
+                        config.seed, 800, dataset_index, method_index
+                    ),
+                    measure="initiator",
+                )
+            )
+    return tuple(scenarios)
+
+
 register_scenarios("table1", table1_scenarios)
 register_scenarios("baseline-comparison", baseline_comparison_scenarios)
 register_scenarios("baseline-scoring", baseline_scoring_scenarios)
 register_scenarios("figures", figure_scenarios)
+register_scenarios("large-k", large_k_scenarios)

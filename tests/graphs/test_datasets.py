@@ -10,9 +10,17 @@ from repro.stats.clustering import average_clustering
 
 
 class TestRegistry:
-    def test_four_datasets_registered(self):
+    def test_registered_datasets(self):
         names = available_datasets()
-        assert names == ["ca-grqc", "ca-hepth", "as20", "synthetic-kronecker"]
+        assert names == [
+            "ca-grqc",
+            "ca-hepth",
+            "as20",
+            "synthetic-kronecker",
+            "skg-k16",
+            "skg-k18",
+            "skg-k20",
+        ]
 
     def test_unknown_name_raises(self):
         with pytest.raises(DatasetError, match="unknown dataset"):

@@ -37,7 +37,13 @@ def script_schema_version(script_name: str) -> int:
 
 class TestBenchArtifactSchema:
     def test_every_committed_artifact_has_an_emitting_script(self):
-        committed = {path.name for path in OUT_DIR.glob("BENCH_*.json")}
+        committed = {
+            path.name
+            for path in OUT_DIR.glob("BENCH_*.json")
+            # quick/smoke runs drop gitignored *_quick.json side files;
+            # they are transient, not committed artifacts.
+            if not path.stem.endswith("_quick")
+        }
         unregistered = committed - set(ARTIFACT_SCRIPTS)
         assert not unregistered, (
             f"BENCH artifacts without a registered emitting script: "
@@ -117,6 +123,44 @@ class TestBenchArtifactSchema:
         assert trajectory["rows"][-1]["stats"]["combined_speedup"] == 3.0
         with pytest.raises(ValueError, match="missing keys"):
             module.append_row(trajectory, {"commit": "ccc"})
+
+    def test_stats_artifact_records_large_k_rows(self):
+        """Schema 3 added the large-k scale rows: sampler engine
+        trajectory (bit-identity enforced by the bench) plus the KronMom
+        fit at k in {16, 18, 20}, and the fused-sampler floor record."""
+        report = json.loads(
+            (OUT_DIR / "BENCH_stats.json").read_text(encoding="utf-8")
+        )
+        rows = report["large_k"]
+        assert [row["k"] for row in rows] == [16, 18, 20]
+        for row in rows:
+            assert row["n_nodes"] == 2 ** row["k"]
+            assert row["sampler"]["numpy"]["available"]
+            assert row["kronmom_seconds"] > 0
+            assert len(row["kronmom_initiator"]) == 3
+            for backend, entry in row["sampler"].items():
+                if backend != "numpy" and entry.get("available"):
+                    assert entry["bit_identical"] is True
+        floor = report["sampler_speedup_floor"]
+        assert floor["k"] == 18 and floor["required"] == 2.0
+        if floor["backend"] is not None:
+            assert floor["measured"] >= floor["required"]
+
+    def test_kronfit_artifact_records_large_k_rows(self):
+        """Schema 3's large-k fit rows: per-engine Table-1-budget fits on
+        the skg-k16/k18/k20 datasets, with the k=18 fused floor."""
+        report = json.loads(
+            (OUT_DIR / "BENCH_kronfit.json").read_text(encoding="utf-8")
+        )
+        rows = report["large_k"]
+        assert [row["k"] for row in rows] == [16, 18, 20]
+        for row in rows:
+            assert row["n_nodes"] == 2 ** row["k"]
+            assert row["fit"]["numpy"]["available"]
+        floor = report["large_k_fit_floor"]
+        assert floor["k"] == 18 and floor["required"] == 2.0
+        if floor["backend"] is not None:
+            assert floor["measured"] >= floor["required"]
 
     def test_kronfit_artifact_records_multistart_column(self):
         """Schema 2 added the multi-start column: the committed artifact
