@@ -131,6 +131,49 @@ def _kronfit_headline(report: dict) -> dict:
     return best
 
 
+# The headline numbers the regression gate watches, as (section, key)
+# paths into a trajectory row.
+GATE_KEYS = (("stats", "combined_speedup"), ("kronfit", "fit_speedup"))
+
+# Quick-mode rows are measured on shared CI runners: noisy.  The gate is
+# a tripwire for real regressions (a kernel accidentally knocked off its
+# fast path), not a microbenchmark referee, so the default tolerance is
+# deliberately loose.
+DEFAULT_GATE_TOLERANCE = 0.5
+
+
+def check_regression(previous: dict, row: dict, tolerance: float) -> list[str]:
+    """Compare ``row``'s headline speedups against ``previous``'s.
+
+    Returns one human-readable violation per headline that fell below
+    ``previous * (1 - tolerance)``.  Headlines missing on either side
+    (e.g. a backend unavailable on this runner) are skipped — absence is
+    an environment property, not a regression.
+    """
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"gate tolerance must be in [0, 1), got {tolerance}")
+    problems = []
+    for section, key in GATE_KEYS:
+        before = (previous.get(section) or {}).get(key)
+        after = (row.get(section) or {}).get(key)
+        if before is None or after is None:
+            continue
+        floor = before * (1.0 - tolerance)
+        if after < floor:
+            problems.append(
+                f"{section}.{key} regressed: {after:.2f}x now vs "
+                f"{before:.2f}x in {previous['commit']} "
+                f"(floor {floor:.2f}x at tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def previous_row(trajectory: dict, commit: str) -> dict | None:
+    """The most recent row not belonging to ``commit`` (gate baseline)."""
+    rows = [entry for entry in trajectory["rows"] if entry["commit"] != commit]
+    return rows[-1] if rows else None
+
+
 def append_row(trajectory: dict, row: dict) -> dict:
     """Append ``row``, replacing any prior row for the same commit.
 
@@ -199,6 +242,23 @@ def main(argv: list[str] | None = None) -> int:
         default=str(OUT_PATH),
         help="trajectory artifact to append to (default: the committed one)",
     )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help=(
+            "fail (exit 1) when a headline speedup falls below the previous "
+            "row's by more than --gate-tolerance; the row is recorded either way"
+        ),
+    )
+    parser.add_argument(
+        "--gate-tolerance",
+        type=float,
+        default=DEFAULT_GATE_TOLERANCE,
+        help=(
+            "allowed fractional drop vs the previous row before the gate "
+            f"fails (default {DEFAULT_GATE_TOLERANCE:g})"
+        ),
+    )
     arguments = parser.parse_args(argv)
 
     stats_report = json.loads(Path(arguments.stats).read_text(encoding="utf-8"))
@@ -212,13 +272,22 @@ def main(argv: list[str] | None = None) -> int:
         recorded=recorded,
     )
     out = Path(arguments.out)
-    trajectory = append_row(load_trajectory(out), row)
+    before = load_trajectory(out)
+    baseline = previous_row(before, commit)
+    trajectory = append_row(before, row)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
     print(
         f"trajectory row for {commit} recorded ({len(trajectory['rows'])} "
         f"row(s) in {out})"
     )
+    if arguments.gate and baseline is not None:
+        problems = check_regression(baseline, row, arguments.gate_tolerance)
+        if problems:
+            for problem in problems:
+                print(f"GATE: {problem}", file=sys.stderr)
+            return 1
+        print(f"gate passed vs {baseline['commit']}")
     return 0
 
 

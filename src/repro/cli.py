@@ -362,6 +362,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-plots", action="store_true", help="omit the ASCII scatter overlays"
     )
 
+    serve_parser = commands.add_parser(
+        "serve", help="run the synthesis-as-a-service JSON API"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8377, help="bind port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--queue", type=int, default=None,
+        help="admission capacity before 429 (default REPRO_SERVE_QUEUE)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds (default REPRO_SERVE_TIMEOUT)",
+    )
+    serve_parser.add_argument(
+        "--drain", type=float, default=None,
+        help="graceful-drain deadline in seconds (default REPRO_SERVE_DRAIN)",
+    )
+    serve_parser.add_argument(
+        "--breaker", type=int, default=None,
+        help="circuit-breaker trip threshold (default REPRO_SERVE_BREAKER)",
+    )
+    serve_parser.add_argument(
+        "--budget-epsilon", type=float, default=None,
+        help="per-dataset epsilon budget (default REPRO_SERVE_BUDGET_EPSILON)",
+    )
+    serve_parser.add_argument(
+        "--budget-delta", type=float, default=None,
+        help="per-dataset delta budget (default REPRO_SERVE_BUDGET_DELTA)",
+    )
+    serve_parser.add_argument(
+        "--n-jobs", type=int, default=None,
+        help="worker pool size; 1 = in-process (default REPRO_N_JOBS)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help="response/model cache directory (default REPRO_CACHE_DIR)",
+    )
+    serve_parser.add_argument(
+        "--ledger-dir", default=None,
+        help="privacy ledger directory (default REPRO_SERVE_LEDGER_DIR)",
+    )
+
     table_parser = commands.add_parser(
         "table1", help="regenerate the paper's Table 1"
     )
@@ -856,6 +900,56 @@ def _cmd_table1(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    """Boot the JSON API and serve until SIGTERM/SIGINT drains it."""
+    import logging
+
+    from repro.serve.config import ServeConfig
+    from repro.serve.server import ServeRuntime
+
+    # A server's lifecycle (drain signals, pool self-healing, shutdown)
+    # must be visible to its operator: give the serve namespace an INFO
+    # handler — the CLI otherwise configures no logging at all.
+    serve_logger = logging.getLogger("repro.serve")
+    if not serve_logger.handlers:
+        handler = logging.StreamHandler(sys.stdout)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s: %(message)s")
+        )
+        serve_logger.addHandler(handler)
+        serve_logger.setLevel(logging.INFO)
+
+    config = ServeConfig.resolve(
+        host=arguments.host,
+        port=arguments.port,
+        queue=arguments.queue,
+        timeout=arguments.timeout,
+        drain=arguments.drain,
+        breaker=arguments.breaker,
+        budget_epsilon=arguments.budget_epsilon,
+        budget_delta=arguments.budget_delta,
+        n_jobs=arguments.n_jobs,
+        cache_dir=arguments.cache_dir,
+        ledger_dir=arguments.ledger_dir,
+    )
+    runtime = ServeRuntime(config)
+    host, port = runtime.address
+    print(f"repro serve listening on http://{host}:{port}")
+    print(
+        f"  queue={config.queue_limit} timeout={config.timeout:g}s "
+        f"drain={config.drain_deadline:g}s breaker={config.breaker_threshold} "
+        f"n_jobs={config.n_jobs}"
+    )
+    print(
+        f"  budget per dataset: epsilon={config.budget_epsilon:g} "
+        f"delta={config.budget_delta:g}"
+        + (f"  ledger: {config.ledger_dir}" if config.ledger_dir else "  ledger: memory")
+    )
+    sys.stdout.flush()
+    runtime.run()
+    return 0
+
+
 _HANDLERS = {
     "datasets": _cmd_datasets,
     "summarize": _cmd_summarize,
@@ -868,6 +962,7 @@ _HANDLERS = {
     "runs": _cmd_runs,
     "figure": _cmd_figure,
     "table1": _cmd_table1,
+    "serve": _cmd_serve,
 }
 
 

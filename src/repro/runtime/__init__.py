@@ -47,6 +47,7 @@ from repro.runtime.engine import (
     TRIAL_RETRIES_ENV,
     TRIAL_TIMEOUT_ENV,
     TrialTimeoutError,
+    call_with_timeout,
     persistent_executor,
     pool_worker_pids,
     resolve_n_jobs,
@@ -63,12 +64,18 @@ from repro.runtime.faults import (
     CRASH_EXIT_CODE,
     FAULT_INJECT_ENV,
     FAULT_KINDS,
+    SERVE_FAULT_INJECT_ENV,
+    SERVE_FAULT_KINDS,
     FaultClause,
     FaultPlan,
     InjectedFault,
+    RequestFaults,
+    ServeFaultPlan,
     TrialFaults,
     parse_fault_plan,
+    parse_serve_fault_plan,
     resolve_fault_plan,
+    resolve_serve_fault_plan,
 )
 from repro.runtime.hashing import code_fingerprint, stable_hash, trial_key
 from repro.runtime.spec import TrialFailure, TrialRunReport, TrialSeed, TrialSpec
@@ -90,6 +97,7 @@ __all__ = [
     "persistent_executor",
     "shutdown_pool",
     "pool_worker_pids",
+    "call_with_timeout",
     "TrialTimeoutError",
     "POOL_MODE_ENV",
     "POOL_MODES",
@@ -100,13 +108,19 @@ __all__ = [
     "POOL_RESTARTS_ENV",
     "FAULT_INJECT_ENV",
     "FAULT_KINDS",
+    "SERVE_FAULT_INJECT_ENV",
+    "SERVE_FAULT_KINDS",
     "CRASH_EXIT_CODE",
     "InjectedFault",
     "TrialFaults",
+    "RequestFaults",
     "FaultClause",
     "FaultPlan",
+    "ServeFaultPlan",
     "parse_fault_plan",
+    "parse_serve_fault_plan",
     "resolve_fault_plan",
+    "resolve_serve_fault_plan",
     "stable_hash",
     "code_fingerprint",
     "trial_key",

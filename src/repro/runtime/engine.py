@@ -106,6 +106,7 @@ __all__ = [
     "persistent_executor",
     "shutdown_pool",
     "pool_worker_pids",
+    "call_with_timeout",
     "TrialTimeoutError",
     "POOL_MODE_ENV",
     "POOL_MODES",
@@ -138,10 +139,15 @@ MAX_RETRY_BACKOFF = 5.0
 DEFAULT_POOL_RESTARTS = 2
 
 # The process-wide persistent executor: the pool itself, the worker count
-# it was created for, and whether the atexit hook is installed.
+# it was created for, and whether the atexit hook is installed.  All three
+# are guarded by _pool_lock: concurrent serve handlers (threads) acquire
+# and shut the pool down concurrently, and the create/resize/discard
+# decisions must see a consistent snapshot.  The lock is reentrant so a
+# signal handler firing mid-acquisition can still run shutdown_pool.
 _pool: concurrent.futures.ProcessPoolExecutor | None = None
 _pool_workers = 0
 _atexit_registered = False
+_pool_lock = threading.RLock()
 
 
 class TrialTimeoutError(RuntimeError):
@@ -289,25 +295,34 @@ def persistent_executor(n_workers: int) -> concurrent.futures.ProcessPoolExecuto
     """
     global _pool, _pool_workers, _atexit_registered
     n_workers = check_integer(n_workers, "n_workers", minimum=1)
-    broken = _pool is not None and getattr(_pool, "_broken", False)
-    if _pool is None or _pool_workers != n_workers or broken:
-        shutdown_pool()
-        _pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
-        _pool_workers = n_workers
-        if not _atexit_registered:
-            atexit.register(shutdown_pool)
-            _atexit_registered = True
-        _logger.debug("persistent pool created with %d workers", n_workers)
-    return _pool
+    with _pool_lock:
+        broken = _pool is not None and getattr(_pool, "_broken", False)
+        if _pool is None or _pool_workers != n_workers or broken:
+            shutdown_pool()
+            _pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
+            _pool_workers = n_workers
+            if not _atexit_registered:
+                atexit.register(shutdown_pool)
+                _atexit_registered = True
+            _logger.debug("persistent pool created with %d workers", n_workers)
+        return _pool
 
 
 def shutdown_pool() -> None:
-    """Shut the persistent pool down (idempotent; next use recreates it)."""
+    """Shut the persistent pool down (idempotent; next use recreates it).
+
+    Safe to call concurrently from multiple threads and reentrantly from
+    a signal handler: the pool reference is detached under the lock
+    first, so overlapping calls see no pool and return immediately while
+    one caller performs the actual (blocking) shutdown.
+    """
     global _pool, _pool_workers
-    if _pool is not None:
-        _pool.shutdown(wait=True, cancel_futures=True)
+    with _pool_lock:
+        pool = _pool
         _pool = None
         _pool_workers = 0
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 def pool_worker_pids() -> tuple[int, ...]:
@@ -317,9 +332,10 @@ def pool_worker_pids() -> tuple[int, ...]:
     stable tuple across consecutive ensembles is the observable "zero
     re-fork" guarantee the pool-reuse tests assert.
     """
-    if _pool is None:
+    pool = _pool
+    if pool is None:
         return ()
-    processes = getattr(_pool, "_processes", None) or {}
+    processes = getattr(pool, "_processes", None) or {}
     return tuple(sorted(processes))
 
 
@@ -789,10 +805,10 @@ def _attempt(
 
     if settings.timeout is None:
         return call()
-    return _call_with_timeout(call, settings.timeout, spec.index)
+    return call_with_timeout(call, settings.timeout, spec.index)
 
 
-def _call_with_timeout(call: Callable[[], Any], timeout: float, index: int) -> Any:
+def call_with_timeout(call: Callable[[], Any], timeout: float, index: int) -> Any:
     """Run ``call`` under a watchdog; raise :class:`TrialTimeoutError` on
     expiry.
 
@@ -800,7 +816,8 @@ def _call_with_timeout(call: Callable[[], Any], timeout: float, index: int) -> A
     abandoned (its eventual result is discarded) rather than killed —
     Python cannot safely preempt arbitrary code — which is why this works
     identically in-process and inside pool workers without breaking the
-    pool.
+    pool.  The serve layer reuses this watchdog for per-request deadlines
+    (``index`` is then the request sequence number).
     """
     box: dict[str, Any] = {}
 

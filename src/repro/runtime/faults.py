@@ -36,6 +36,29 @@ environment), so they apply identically on the serial and pool paths and
 never depend on what a worker process inherited at fork time.
 ``worker_crash`` is a no-op on the serial path — there is no worker to
 kill without killing the ensemble itself.
+
+The serve layer (:mod:`repro.serve`) has its own clause vocabulary under
+the separate ``REPRO_SERVE_FAULT_INJECT`` knob, targeting *requests*
+instead of trials (``nth`` is 1-based over the work requests admitted
+past the backpressure gate, in admission order)::
+
+    slow_request:nth=3:seconds=30       # 3rd admitted work request stalls
+                                        # 30s inside its deadline watchdog
+                                        # (drives a 504)
+    handler_error:nth=4                 # 4th admitted work request raises
+                                        # InjectedFault in its handler
+    pool_breakage:nth=5                 # 5th admitted work request kills
+                                        # its pool worker on its first
+                                        # submission (drives self-healing
+                                        # and the circuit breaker)
+    pool_breakage:nth=6:attempts=9      # ...on its first 9 submissions
+                                        # (exhausts the restart budget)
+
+Requests are not retried by the server, so ``slow_request`` and
+``handler_error`` fire at most once; ``attempts`` only applies to
+``pool_breakage``, bounding how many resubmissions crash their worker.
+``pool_breakage`` is inert when the server runs its work in-process
+(``--n-jobs 1``), mirroring ``worker_crash`` on the serial trial path.
 """
 
 from __future__ import annotations
@@ -49,17 +72,27 @@ from repro.errors import ValidationError
 __all__ = [
     "FAULT_INJECT_ENV",
     "FAULT_KINDS",
+    "SERVE_FAULT_INJECT_ENV",
+    "SERVE_FAULT_KINDS",
     "InjectedFault",
     "TrialFaults",
     "NO_FAULTS",
+    "RequestFaults",
+    "NO_REQUEST_FAULTS",
     "FaultClause",
     "FaultPlan",
+    "ServeFaultPlan",
     "parse_fault_plan",
+    "parse_serve_fault_plan",
     "resolve_fault_plan",
+    "resolve_serve_fault_plan",
 ]
 
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 FAULT_KINDS = ("trial_error", "worker_crash", "slow_trial")
+
+SERVE_FAULT_INJECT_ENV = "REPRO_SERVE_FAULT_INJECT"
+SERVE_FAULT_KINDS = ("slow_request", "handler_error", "pool_breakage")
 
 # Exit code an injected worker crash dies with: distinguishable from a
 # clean exit in worker logs, meaningless otherwise.
@@ -161,46 +194,68 @@ def _clause_faults(clause: FaultClause) -> TrialFaults:
     return replace(NO_FAULTS, crash_submissions=clause.attempts)
 
 
-def _clause_error(clause: str, reason: str) -> ValidationError:
+_TRIAL_EXAMPLES = (
+    "trial_error:index=3:attempts=1, worker_crash:nth=2, "
+    "slow_trial:index=5:seconds=30"
+)
+_SERVE_EXAMPLES = (
+    "slow_request:nth=3:seconds=30, handler_error:nth=4, "
+    "pool_breakage:nth=5:attempts=2"
+)
+
+
+def _clause_error(
+    clause: str,
+    reason: str,
+    kinds: Sequence[str] = FAULT_KINDS,
+    examples: str = _TRIAL_EXAMPLES,
+) -> ValidationError:
     return ValidationError(
         f"bad fault clause {clause!r}: {reason}; expected "
-        f"kind:key=value[:key=value...] with kind one of {', '.join(FAULT_KINDS)} "
-        f"(e.g. trial_error:index=3:attempts=1, worker_crash:nth=2, "
-        f"slow_trial:index=5:seconds=30)"
+        f"kind:key=value[:key=value...] with kind one of {', '.join(kinds)} "
+        f"(e.g. {examples})"
     )
 
 
-def _parse_fields(clause: str, fields: Sequence[str]) -> dict[str, str]:
+def _serve_clause_error(clause: str, reason: str) -> ValidationError:
+    return _clause_error(clause, reason, SERVE_FAULT_KINDS, _SERVE_EXAMPLES)
+
+
+def _parse_fields(clause: str, fields: Sequence[str], error=_clause_error) -> dict[str, str]:
     values: dict[str, str] = {}
     for token in fields:
         key, separator, value = token.partition("=")
         if not separator or not key or not value:
-            raise _clause_error(clause, f"malformed field {token!r}")
+            raise error(clause, f"malformed field {token!r}")
         if key in values:
-            raise _clause_error(clause, f"duplicate key {key!r}")
+            raise error(clause, f"duplicate key {key!r}")
         values[key] = value
     return values
 
 
-def _field_int(clause: str, values: Mapping[str, str], key: str, minimum: int) -> int:
+def _field_int(
+    clause: str, values: Mapping[str, str], key: str, minimum: int, error=_clause_error
+) -> int:
     raw = values[key]
     try:
         value = int(raw)
     except ValueError as exc:
-        raise _clause_error(clause, f"{key} must be an integer, got {raw!r}") from exc
+        raise error(clause, f"{key} must be an integer, got {raw!r}") from exc
     if value < minimum:
-        raise _clause_error(clause, f"{key} must be >= {minimum}, got {value}")
+        raise error(clause, f"{key} must be >= {minimum}, got {value}")
     return value
 
 
-def _field_float(clause: str, values: Mapping[str, str], key: str) -> float:
+def _field_float(
+    clause: str, values: Mapping[str, str], key: str, error=_clause_error
+) -> float:
     raw = values[key]
     try:
         value = float(raw)
     except ValueError as exc:
-        raise _clause_error(clause, f"{key} must be a number, got {raw!r}") from exc
+        raise error(clause, f"{key} must be a number, got {raw!r}") from exc
     if not value > 0:
-        raise _clause_error(clause, f"{key} must be positive, got {value}")
+        raise error(clause, f"{key} must be positive, got {value}")
     return value
 
 
@@ -264,3 +319,125 @@ def resolve_fault_plan(faults: "str | FaultPlan | None" = None) -> FaultPlan:
     if faults is None:
         faults = os.environ.get(FAULT_INJECT_ENV) or ""
     return parse_fault_plan(faults)
+
+
+@dataclass(frozen=True)
+class RequestFaults:
+    """The faults one serve request is subject to.
+
+    Attributes
+    ----------
+    error:
+        The handler raises :class:`InjectedFault` instead of executing
+        (the server answers with a structured 503).
+    slow_seconds:
+        The handler sleeps this long before executing, inside the
+        per-request deadline watchdog (so ``REPRO_SERVE_TIMEOUT``
+        observes the stall and answers 504).
+    crash_submissions:
+        Submissions 1..N of this request's pool work kill their worker
+        process, driving the server's pool self-healing (and, when the
+        restart budget is exhausted, the circuit breaker).
+    """
+
+    error: bool = False
+    slow_seconds: float = 0.0
+    crash_submissions: int = 0
+
+    def merged(self, other: "RequestFaults") -> "RequestFaults":
+        """Combine two clauses targeting the same request (maxima win)."""
+        return RequestFaults(
+            error=self.error or other.error,
+            slow_seconds=max(self.slow_seconds, other.slow_seconds),
+            crash_submissions=max(self.crash_submissions, other.crash_submissions),
+        )
+
+
+NO_REQUEST_FAULTS = RequestFaults()
+
+
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """The parsed ``REPRO_SERVE_FAULT_INJECT`` spec: zero or more clauses.
+
+    All serve clauses target by ``nth`` — the 1-based position of a work
+    request (``/fit``, ``/sample``, ``/release``) in admission order —
+    which is the only stable coordinate under concurrent clients.
+    """
+
+    clauses: tuple[FaultClause, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.clauses)
+
+    def for_request(self, nth: int) -> RequestFaults:
+        """The merged faults the ``nth`` admitted work request suffers."""
+        faults = NO_REQUEST_FAULTS
+        for clause in self.clauses:
+            if clause.nth != nth:
+                continue
+            if clause.kind == "handler_error":
+                faults = faults.merged(RequestFaults(error=True))
+            elif clause.kind == "slow_request":
+                faults = faults.merged(RequestFaults(slow_seconds=clause.seconds))
+            else:  # pool_breakage
+                faults = faults.merged(
+                    RequestFaults(crash_submissions=clause.attempts)
+                )
+        return faults
+
+
+_SERVE_ALLOWED_KEYS = {
+    "slow_request": {"nth", "seconds"},
+    "handler_error": {"nth"},
+    "pool_breakage": {"nth", "attempts"},
+}
+
+
+def parse_serve_fault_plan(spec: str) -> ServeFaultPlan:
+    """Parse a serve fault spec string into a :class:`ServeFaultPlan`.
+
+    Same strictness contract as :func:`parse_fault_plan`: malformed specs
+    raise :class:`~repro.errors.ValidationError` naming the clause.
+    """
+    clauses: list[FaultClause] = []
+    for raw in spec.split(";"):
+        raw = raw.strip()
+        if not raw:
+            continue
+        kind, *fields = [token.strip() for token in raw.split(":")]
+        if kind not in SERVE_FAULT_KINDS:
+            raise _serve_clause_error(raw, f"unknown kind {kind!r}")
+        values = _parse_fields(raw, fields, _serve_clause_error)
+        unknown = set(values) - _SERVE_ALLOWED_KEYS[kind]
+        if unknown:
+            raise _serve_clause_error(
+                raw, f"unknown key(s) {', '.join(sorted(unknown))} for {kind}"
+            )
+        if "nth" not in values:
+            raise _serve_clause_error(raw, "needs nth=")
+        nth = _field_int(raw, values, "nth", 1, _serve_clause_error)
+        seconds = 0.0
+        if kind == "slow_request":
+            if "seconds" not in values:
+                raise _serve_clause_error(raw, "needs seconds=")
+            seconds = _field_float(raw, values, "seconds", _serve_clause_error)
+        attempts = 1
+        if "attempts" in values:
+            attempts = _field_int(raw, values, "attempts", 1, _serve_clause_error)
+        clauses.append(
+            FaultClause(kind=kind, nth=nth, attempts=attempts, seconds=seconds)
+        )
+    return ServeFaultPlan(clauses=tuple(clauses))
+
+
+def resolve_serve_fault_plan(
+    faults: "str | ServeFaultPlan | None" = None,
+) -> ServeFaultPlan:
+    """Resolve the serve fault plan: argument, then
+    ``REPRO_SERVE_FAULT_INJECT``, then the empty (fault-free) plan."""
+    if isinstance(faults, ServeFaultPlan):
+        return faults
+    if faults is None:
+        faults = os.environ.get(SERVE_FAULT_INJECT_ENV) or ""
+    return parse_serve_fault_plan(faults)

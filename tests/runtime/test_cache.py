@@ -80,3 +80,55 @@ class TestTrialCache:
         cache.store(KEY, list(range(100)))
         leftovers = [p for p in (tmp_path / "cache").rglob(".tmp-*")]
         assert leftovers == []
+
+
+def _hammer_store(directory, key, worker, rounds):
+    """Store ``rounds`` payloads under one key (cross-process racer)."""
+    cache = TrialCache(directory)
+    for round_index in range(rounds):
+        cache.store(key, {"worker": worker, "round": round_index})
+    return worker
+
+
+class TestConcurrentWriters:
+    """Two processes racing to store the same key must both succeed.
+
+    The atomic mkstemp + os.replace protocol means the loser's payload
+    simply overwrites the winner's — complete either way — and no
+    half-written file is ever visible, so nothing is quarantined as
+    ``.corrupt`` and no ``.tmp-*`` droppings survive.
+    """
+
+    def test_same_key_race_leaves_a_complete_entry(self, tmp_path):
+        import multiprocessing
+
+        context = multiprocessing.get_context("spawn")
+        rounds = 50
+        workers = [
+            context.Process(
+                target=_hammer_store, args=(str(tmp_path), KEY, worker, rounds)
+            )
+            for worker in range(2)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+
+        cache = TrialCache(tmp_path)
+        hit, value = cache.load(KEY)
+        assert hit
+        # Whichever writer won the final rename, the entry is one
+        # writer's complete last payload.
+        assert value["round"] == rounds - 1
+        assert value["worker"] in (0, 1)
+
+        leftovers = [
+            path
+            for path in tmp_path.rglob("*")
+            if path.is_file() and path.suffix != ".pkl"
+        ]
+        assert leftovers == []
+        assert not list(tmp_path.rglob("*.corrupt"))
+        assert len(cache) == 1

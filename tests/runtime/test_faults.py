@@ -406,3 +406,81 @@ class TestPoolSelfHealing:
         assert report.pool_restarts == 1
         assert report.retried_indices == (0,)
         assert report.failed == 0
+
+
+class TestServeFaultGrammar:
+    """The serve-side clauses: same strictness, request-order targeting."""
+
+    def test_empty_spec_is_falsy(self):
+        from repro.runtime import parse_serve_fault_plan
+        from repro.runtime.faults import NO_REQUEST_FAULTS
+
+        plan = parse_serve_fault_plan("")
+        assert not plan
+        assert plan.for_request(1) == NO_REQUEST_FAULTS
+
+    def test_all_three_kinds_parse(self):
+        from repro.runtime import parse_serve_fault_plan
+        from repro.runtime.faults import NO_REQUEST_FAULTS
+
+        plan = parse_serve_fault_plan(
+            "slow_request:nth=2:seconds=0.5;handler_error:nth=3;"
+            "pool_breakage:nth=4:attempts=2"
+        )
+        assert plan.for_request(1) == NO_REQUEST_FAULTS
+        assert plan.for_request(2).slow_seconds == 0.5
+        assert plan.for_request(3).error
+        assert plan.for_request(4).crash_submissions == 2
+
+    def test_clauses_on_the_same_request_merge(self):
+        from repro.runtime import parse_serve_fault_plan
+
+        plan = parse_serve_fault_plan(
+            "slow_request:nth=1:seconds=0.2;handler_error:nth=1;"
+            "slow_request:nth=1:seconds=0.1"
+        )
+        faults = plan.for_request(1)
+        assert faults.error
+        assert faults.slow_seconds == 0.2
+
+    def test_trial_kinds_are_rejected_with_serve_examples(self):
+        from repro.runtime import parse_serve_fault_plan
+
+        with pytest.raises(ValidationError) as excinfo:
+            parse_serve_fault_plan("worker_crash:nth=1")
+        message = str(excinfo.value)
+        assert "slow_request" in message
+        assert "worker_crash:nth=1" in message
+
+    def test_slow_request_requires_seconds(self):
+        from repro.runtime import parse_serve_fault_plan
+
+        with pytest.raises(ValidationError, match="seconds="):
+            parse_serve_fault_plan("slow_request:nth=1")
+
+    def test_nth_is_mandatory(self):
+        from repro.runtime import parse_serve_fault_plan
+
+        with pytest.raises(ValidationError, match="nth="):
+            parse_serve_fault_plan("handler_error")
+
+    def test_unknown_keys_rejected_per_kind(self):
+        from repro.runtime import parse_serve_fault_plan
+
+        with pytest.raises(ValidationError, match="seconds"):
+            parse_serve_fault_plan("handler_error:nth=1:seconds=2")
+
+    def test_environment_resolution(self, monkeypatch):
+        from repro.runtime import SERVE_FAULT_INJECT_ENV, resolve_serve_fault_plan
+
+        monkeypatch.setenv(SERVE_FAULT_INJECT_ENV, "handler_error:nth=7")
+        plan = resolve_serve_fault_plan()
+        assert plan.for_request(7).error
+
+    def test_argument_beats_environment(self, monkeypatch):
+        from repro.runtime import SERVE_FAULT_INJECT_ENV, resolve_serve_fault_plan
+
+        monkeypatch.setenv(SERVE_FAULT_INJECT_ENV, "handler_error:nth=7")
+        plan = resolve_serve_fault_plan("slow_request:nth=1:seconds=1")
+        assert not plan.for_request(7).error
+        assert plan.for_request(1).slow_seconds == 1.0

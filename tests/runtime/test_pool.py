@@ -152,3 +152,63 @@ class TestEphemeralMode:
         when the call site first happens to run parallel."""
         with pytest.raises(ValidationError, match="pool mode"):
             run_trials(_specs(count=2), seed=0, n_jobs=1, pool="persistant")
+
+
+class TestSignalShutdown:
+    """The serve layer's drain path: ``shutdown_pool`` from a signal
+    handler must be safe alongside (and after) ordinary calls."""
+
+    def test_shutdown_from_a_signal_handler_is_idempotent(self):
+        import signal as signal_module
+        import time
+
+        fired = []
+
+        def handler(signum, frame):
+            # Exactly what a drain-on-SIGTERM handler does — including
+            # the accidental double call.
+            shutdown_pool()
+            shutdown_pool()
+            fired.append(signum)
+
+        previous = signal_module.signal(signal_module.SIGUSR1, handler)
+        try:
+            report = run_trials(_specs(_pid_trial, count=4), seed=0, n_jobs=2)
+            assert pool_worker_pids()  # a live pool to tear down
+            os.kill(os.getpid(), signal_module.SIGUSR1)
+            deadline = time.monotonic() + 5.0
+            while not fired and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert fired == [signal_module.SIGUSR1]
+            assert pool_worker_pids() == ()
+            # A main-thread call after the handler already shut down.
+            shutdown_pool()
+            # And the pool comes back on demand, fully usable.
+            again = run_trials(_specs(_pid_trial, count=4), seed=0, n_jobs=2)
+            assert len(again.results) == len(report.results)
+            assert pool_worker_pids()
+        finally:
+            signal_module.signal(signal_module.SIGUSR1, previous)
+
+    def test_concurrent_shutdown_calls_from_threads(self):
+        import threading
+
+        run_trials(_specs(count=4), seed=0, n_jobs=2)
+        assert pool_worker_pids()
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def racer():
+            barrier.wait()
+            try:
+                shutdown_pool()
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert pool_worker_pids() == ()

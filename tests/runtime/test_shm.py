@@ -235,3 +235,36 @@ class TestPoolSelfHealing:
         assert [r[:3] for r in report.results] == [r[:3] for r in clean.results]
         assert graph._shm is None
         assert live_segments() == ()
+
+
+def interrupting_trial(rng, graph=None, boom=False):
+    """Raises KeyboardInterrupt in the worker when ``boom`` is set."""
+    if boom:
+        raise KeyboardInterrupt
+    u, v = graph.edge_arrays
+    return int(u.sum() + v.sum())
+
+
+class TestInterruptCleanup:
+    """Ctrl-C mid-run must not leak published segments.
+
+    A KeyboardInterrupt surfacing from a worker unwinds ``run_trials``
+    through the pool-session ExitStack, which is the single release
+    point for shared graphs — the ``leak_check`` fixture then audits
+    both the module bookkeeping and ``/dev/shm`` itself.
+    """
+
+    def test_keyboard_interrupt_mid_run_releases_segments(self):
+        graph = big_graph()
+        specs = [
+            TrialSpec(
+                fn=interrupting_trial,
+                params={"graph": graph, "boom": index == 1},
+                index=index,
+            )
+            for index in range(4)
+        ]
+        with pytest.raises(KeyboardInterrupt):
+            run_trials(specs, seed=0, n_jobs=2)
+        shutdown_pool()
+        assert live_segments() == ()

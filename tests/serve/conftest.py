@@ -1,0 +1,15 @@
+"""Shared serve-layer fixtures: tiny configs, clean pools."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import shutdown_pool
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Isolate every test from worker pools created by earlier tests."""
+    shutdown_pool()
+    yield
+    shutdown_pool()

@@ -1,0 +1,22 @@
+"""Test helper: fast explicit serve configs (importable, not a fixture)."""
+
+from __future__ import annotations
+
+from repro.serve.config import ServeConfig
+
+
+def make_config(**overrides) -> ServeConfig:
+    """A fast, explicit config: no env fallthrough surprises in tests."""
+    settings = dict(
+        port=0,
+        queue=4,
+        timeout=20.0,
+        drain=5.0,
+        breaker=3,
+        budget_epsilon=1.0,
+        budget_delta=0.1,
+        n_jobs=1,
+        pool_restarts=2,
+    )
+    settings.update(overrides)
+    return ServeConfig.resolve(**settings)

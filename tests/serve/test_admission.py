@@ -1,0 +1,139 @@
+"""Tests for the serve concurrency primitives."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.admission import AdmissionGate, CircuitBreaker, KeyedLocks
+
+
+class TestAdmissionGate:
+    def test_admits_up_to_capacity_then_rejects(self):
+        gate = AdmissionGate(2)
+        assert gate.try_enter()
+        assert gate.try_enter()
+        assert not gate.try_enter()
+        gate.leave()
+        assert gate.try_enter()
+        snapshot = gate.snapshot()
+        assert snapshot["limit"] == 2
+        assert snapshot["in_flight"] == 2
+        assert snapshot["peak_in_flight"] == 2
+        assert snapshot["rejected"] == 1
+
+    def test_unmatched_leave_raises(self):
+        gate = AdmissionGate(1)
+        with pytest.raises(RuntimeError):
+            gate.leave()
+
+    def test_wait_idle_times_out_with_work_in_flight(self):
+        gate = AdmissionGate(1)
+        gate.try_enter()
+        start = time.monotonic()
+        assert not gate.wait_idle(0.05)
+        assert time.monotonic() - start >= 0.05
+
+    def test_wait_idle_wakes_on_last_leave(self):
+        gate = AdmissionGate(2)
+        gate.try_enter()
+
+        def leaver():
+            time.sleep(0.05)
+            gate.leave()
+
+        thread = threading.Thread(target=leaver)
+        thread.start()
+        assert gate.wait_idle(5.0)
+        thread.join()
+        assert gate.in_flight == 0
+
+    def test_rejections_do_not_consume_slots(self):
+        gate = AdmissionGate(1)
+        gate.try_enter()
+        for _ in range(5):
+            assert not gate.try_enter()
+        gate.leave()
+        assert gate.in_flight == 0
+        assert gate.snapshot()["rejected"] == 5
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_breakages(self):
+        breaker = CircuitBreaker(3)
+        breaker.record_breakage()
+        breaker.record_breakage()
+        assert not breaker.is_open
+        breaker.record_breakage()
+        assert breaker.is_open
+        assert breaker.snapshot()["trips"] == 1
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(2)
+        breaker.record_breakage()
+        breaker.record_success()
+        breaker.record_breakage()
+        assert not breaker.is_open
+
+    def test_probe_is_single_flight(self):
+        breaker = CircuitBreaker(1)
+        breaker.record_breakage()
+        assert breaker.is_open
+        assert breaker.begin_probe()
+        assert not breaker.begin_probe()  # one at a time
+        assert breaker.state == "probing"
+        breaker.end_probe(success=False)
+        assert breaker.is_open
+        assert breaker.begin_probe()  # can try again
+        breaker.end_probe(success=True)
+        assert not breaker.is_open
+        assert breaker.state == "closed"
+
+    def test_probe_refused_while_closed(self):
+        breaker = CircuitBreaker(1)
+        assert not breaker.begin_probe()
+
+
+class TestKeyedLocks:
+    def test_serializes_per_key(self):
+        locks = KeyedLocks()
+        order = []
+
+        def worker(tag):
+            with locks.lock("model-a"):
+                order.append(f"{tag}-in")
+                time.sleep(0.02)
+                order.append(f"{tag}-out")
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in "xy"]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Strict nesting: whoever entered first left before the other
+        # entered.
+        assert order[0].endswith("-in") and order[1] == order[0].replace("-in", "-out")
+
+    def test_distinct_keys_run_concurrently(self):
+        locks = KeyedLocks()
+        started = threading.Barrier(2, timeout=5.0)
+
+        def worker(key):
+            with locks.lock(key):
+                started.wait()  # both inside their locks at once
+
+        threads = [
+            threading.Thread(target=worker, args=(key,)) for key in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_table_empties_when_idle(self):
+        locks = KeyedLocks()
+        with locks.lock("k"):
+            assert len(locks) == 1
+        assert len(locks) == 0

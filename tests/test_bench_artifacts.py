@@ -25,7 +25,31 @@ ARTIFACT_SCRIPTS = {
     "BENCH_stats.json": "bench_stats.py",
     "BENCH_kronfit.json": "bench_kronfit.py",
     "BENCH_trajectory.json": "bench_trajectory.py",
+    "BENCH_serve.json": "bench_serve.py",
 }
+
+
+def load_bench_module(script_name: str):
+    """Import a benchmarks/ script by path (the dir is not a package)."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        script_name.removesuffix(".py"), BENCH_DIR / script_name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def trajectory_row(commit, recorded, speedup, fit_speedup=None):
+    return {
+        "commit": commit,
+        "label": "",
+        "recorded": recorded,
+        "quick": True,
+        "stats": {"combined_speedup": speedup},
+        "kronfit": {"fit_speedup": fit_speedup if fit_speedup is not None else speedup},
+    }
 
 
 def script_schema_version(script_name: str) -> int:
@@ -97,23 +121,8 @@ class TestBenchArtifactSchema:
 
     def test_trajectory_append_replaces_same_commit(self):
         """Re-benching a commit must update its row, not duplicate it."""
-        import importlib.util
-
-        spec = importlib.util.spec_from_file_location(
-            "bench_trajectory", BENCH_DIR / "bench_trajectory.py"
-        )
-        module = importlib.util.module_from_spec(spec)
-        spec.loader.exec_module(module)
-
-        def row(commit, recorded, speedup):
-            return {
-                "commit": commit,
-                "label": "",
-                "recorded": recorded,
-                "quick": True,
-                "stats": {"combined_speedup": speedup},
-                "kronfit": {"fit_speedup": speedup},
-            }
+        module = load_bench_module("bench_trajectory.py")
+        row = trajectory_row
 
         trajectory = module.fresh_trajectory()
         trajectory = module.append_row(trajectory, row("aaa", "2026-01-01T00:00:00Z", 1.0))
@@ -123,6 +132,119 @@ class TestBenchArtifactSchema:
         assert trajectory["rows"][-1]["stats"]["combined_speedup"] == 3.0
         with pytest.raises(ValueError, match="missing keys"):
             module.append_row(trajectory, {"commit": "ccc"})
+
+    def test_trajectory_gate_flags_regressions(self):
+        """A headline speedup dropping below the tolerance floor must be
+        reported; drops within tolerance must pass."""
+        module = load_bench_module("bench_trajectory.py")
+        previous = trajectory_row("aaa", "2026-01-01T00:00:00Z", 10.0, 4.0)
+
+        # Within tolerance (50% default): half the previous speedup holds.
+        fine = trajectory_row("bbb", "2026-01-02T00:00:00Z", 5.0, 2.0)
+        assert module.check_regression(previous, fine, 0.5) == []
+
+        # Below the floor on one headline: exactly one violation, naming
+        # the metric and the baseline commit.
+        bad = trajectory_row("bbb", "2026-01-02T00:00:00Z", 4.0, 4.0)
+        problems = module.check_regression(previous, bad, 0.5)
+        assert len(problems) == 1
+        assert "stats.combined_speedup" in problems[0]
+        assert "aaa" in problems[0]
+
+        # Both headlines regressed: both reported.
+        awful = trajectory_row("bbb", "2026-01-02T00:00:00Z", 1.0, 0.5)
+        assert len(module.check_regression(previous, awful, 0.5)) == 2
+
+        # Tolerance 0 is the strictest gate: any drop fails.
+        assert module.check_regression(previous, fine, 0.0)
+        assert module.check_regression(previous, previous, 0.0) == []
+
+    def test_trajectory_gate_skips_missing_headlines(self):
+        """A headline absent on either side (backend unavailable on that
+        runner) is an environment property, not a regression."""
+        module = load_bench_module("bench_trajectory.py")
+        previous = trajectory_row("aaa", "2026-01-01T00:00:00Z", 10.0)
+        previous["kronfit"]["fit_speedup"] = None
+        row = trajectory_row("bbb", "2026-01-02T00:00:00Z", 9.0)
+        row["stats"]["combined_speedup"] = None
+        assert module.check_regression(previous, row, 0.5) == []
+        with pytest.raises(ValueError, match="tolerance"):
+            module.check_regression(previous, row, 1.5)
+
+    def test_trajectory_gate_baseline_is_previous_distinct_commit(self):
+        """Re-benching HEAD gates against the last *other* commit, and
+        the very first row has no baseline at all."""
+        module = load_bench_module("bench_trajectory.py")
+        trajectory = module.fresh_trajectory()
+        assert module.previous_row(trajectory, "aaa") is None
+        trajectory = module.append_row(
+            trajectory, trajectory_row("aaa", "2026-01-01T00:00:00Z", 1.0)
+        )
+        assert module.previous_row(trajectory, "aaa") is None
+        trajectory = module.append_row(
+            trajectory, trajectory_row("bbb", "2026-01-02T00:00:00Z", 2.0)
+        )
+        baseline = module.previous_row(trajectory, "bbb")
+        assert baseline["commit"] == "aaa"
+
+    def test_trajectory_gate_end_to_end(self, tmp_path):
+        """main(--gate) exits 1 on a regression but still records the
+        row; a recovery run on the same trajectory passes again."""
+        module = load_bench_module("bench_trajectory.py")
+
+        def reports(speedup, directory):
+            """Minimal quick-mode stats/kronfit reports for build_row."""
+            stats = {
+                "quick": True,
+                "kernel_backend": "numpy",
+                "speedup_floor": {"workload": "w", "measured": speedup},
+                "fused_speedup_floor": {"backend": "numba", "measured": speedup},
+            }
+            kronfit = {
+                "quick": True,
+                "fused_fit_floor": {
+                    "workload": "w", "backend": "numba", "measured": speedup
+                },
+            }
+            stats_path = directory / "stats.json"
+            kronfit_path = directory / "kronfit.json"
+            stats_path.write_text(json.dumps(stats))
+            kronfit_path.write_text(json.dumps(kronfit))
+            return stats_path, kronfit_path
+
+        out = tmp_path / "trajectory.json"
+
+        def run(commit, recorded, speedup):
+            stats_path, kronfit_path = reports(speedup, tmp_path)
+            return module.main([
+                "--stats", str(stats_path), "--kronfit", str(kronfit_path),
+                "--commit", commit, "--recorded", recorded,
+                "--out", str(out), "--gate",
+            ])
+
+        assert run("aaa", "2026-01-01T00:00:00Z", 10.0) == 0  # no baseline
+        assert run("bbb", "2026-01-02T00:00:00Z", 9.0) == 0   # within tolerance
+        assert run("ccc", "2026-01-03T00:00:00Z", 1.0) == 1   # regressed
+        rows = json.loads(out.read_text())["rows"]
+        assert [row["commit"] for row in rows] == ["aaa", "bbb", "ccc"]
+        # The regressed row was still recorded; gating vs it now fails
+        # the *next* run only if the next run is slower still.
+        assert run("ddd", "2026-01-04T00:00:00Z", 0.9) == 0
+
+    def test_serve_artifact_records_floors(self):
+        """The committed serve bench must carry the latency distribution
+        and both floors, measured above their requirements (the full run
+        asserts them at bench time; this guards the committed record)."""
+        report = json.loads(
+            (OUT_DIR / "BENCH_serve.json").read_text(encoding="utf-8")
+        )
+        warm = report["cold_vs_warm"]["warm"]
+        assert {"p50_ms", "p95_ms", "p99_ms"} <= set(warm)
+        assert report["cold_vs_warm"]["bit_identical"] is True
+        for floor in (report["cache_speedup_floor"], report["throughput_floor"]):
+            assert floor["measured"] >= floor["required"]
+        assert report["sustained"]["clients"] >= 8
+        assert report["sustained"]["throughput_rps"] > 0
 
     def test_stats_artifact_records_large_k_rows(self):
         """Schema 3 added the large-k scale rows: sampler engine
