@@ -20,7 +20,17 @@ records two trajectories per workload:
   counts.  The parallel floor (n_jobs=4 ≥ 2× serial) is asserted only
   on hosts with ≥ 2 usable cores — on a single-core container the
   measurement is still recorded, with the core count and the reason the
-  assertion was skipped.
+  assertion was skipped;
+* **batched multichain fit** — wall-clock of the PR 10 batched
+  multi-start path (all S chains advanced in *one* native call,
+  ``kernel_threads`` ∈ {1, 2}) against the PR 5 pool fan-out at
+  ``n_jobs=4``, at S ∈ {8, 64} on the floor workload.  The winning
+  start, fitted initiator, and every chain's final log-likelihood are
+  enforced bit-identical between the two strategies (the batched
+  kernel's per-chain bit-identity contract).  The ≥ 2× batched-vs-
+  fan-out floor is asserted exactly on single-core hosts — the
+  complement of the pool floor above, closing its "skipped on 1-core
+  hosts" gap: every host now asserts one multi-start floor.
 
 Workloads: SKG draws at k ∈ {10, 12} and the ca-grqc dataset (the
 padded fit runs at k=13).  The k=12 draw asserts the floor: the best
@@ -71,8 +81,10 @@ from repro.native.registry import NATIVE_BACKENDS
 
 # Bump when the JSON layout changes; tests/test_bench_artifacts.py keeps
 # the committed artifact in sync.  3 = added the large-k scale rows
-# (per-engine delta-scan fits at k ∈ {16, 18, 20}).
-SCHEMA_VERSION = 3
+# (per-engine delta-scan fits at k ∈ {16, 18, 20}); 4 = added the
+# batched multichain column (``multichain`` workload rows at
+# S ∈ {8, 64} × kernel_threads ∈ {1, 2} plus ``multichain_floor``).
+SCHEMA_VERSION = 4
 
 OUT_PATH = Path(__file__).parent / "out" / "BENCH_kronfit.json"
 THETA = Initiator(0.99, 0.45, 0.25)  # the paper's synthetic initiator
@@ -85,6 +97,14 @@ FLOOR_WORKLOAD = "skg-k12"
 MULTISTART_STARTS = 8
 MULTISTART_JOBS = (1, 4)
 MULTISTART_FLOOR = 2.0
+
+# Batched multichain column (PR 10): all S chains advanced in one
+# native call vs the PR 5 pool fan-out of S solo fits.
+MULTICHAIN_STARTS = (8, 64)
+MULTICHAIN_QUICK_STARTS = (8,)
+MULTICHAIN_THREADS = (1, 2)
+MULTICHAIN_FANOUT_JOBS = 4
+MULTICHAIN_FLOOR = 2.0
 
 # Table-1-scale chain parameters: n_iterations × (warmup + samples ×
 # spacing) = 28 000 proposals per fit.
@@ -288,6 +308,85 @@ def bench_multistart(graph: Graph, repeats: int, fit_params: dict) -> dict:
     return records
 
 
+def bench_multichain(graph: Graph, repeats: int, fit_params: dict, quick: bool) -> dict:
+    """Batched multichain fits vs the PR 5 pool fan-out.
+
+    For each S the fan-out baseline (``multi_start="fanout"``, a warmed
+    pool of ``MULTICHAIN_FANOUT_JOBS`` workers) and the batched path
+    (one native call advancing all S chains, at each kernel-thread
+    count) are timed best-of-``repeats``.  The winning start, fitted
+    initiator, and every chain's final log-likelihood must be
+    bit-identical between the two strategies — the batched kernel's
+    per-chain bit-identity contract, pinned per proposal by
+    ``tests/kronecker/test_multichain_equivalence.py``.
+    """
+    engine = best_engine()
+    records: dict = {
+        "backend": engine,
+        "params": fit_params,
+        "fanout_n_jobs": MULTICHAIN_FANOUT_JOBS,
+        "by_starts": {},
+    }
+    for n_starts in MULTICHAIN_QUICK_STARTS if quick else MULTICHAIN_STARTS:
+        fanout = KronFitEstimator(
+            initial=FIT_THETA,
+            seed=SEED,
+            backend=engine,
+            n_starts=n_starts,
+            n_jobs=MULTICHAIN_FANOUT_JOBS,
+            multi_start="fanout",
+            **fit_params,
+        )
+        reference = fanout.fit(graph)  # warm-up (forks the pool once)
+        fanout_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fanout.fit(graph)
+            fanout_best = min(fanout_best, time.perf_counter() - start)
+        row = {
+            "winning_start": reference.start,
+            "fanout": {
+                "n_jobs": MULTICHAIN_FANOUT_JOBS,
+                "seconds": fanout_best,
+            },
+            "batched": {},
+        }
+        for threads in MULTICHAIN_THREADS:
+            batched = KronFitEstimator(
+                initial=FIT_THETA,
+                seed=SEED,
+                backend=engine,
+                n_starts=n_starts,
+                n_jobs=1,
+                multi_start="batched",
+                kernel_threads=threads,
+                **fit_params,
+            )
+            result = batched.fit(graph)  # warm-up (loads the kernel)
+            if (
+                result.start != reference.start
+                or result.initiator != reference.initiator
+                or result.start_log_likelihoods
+                != reference.start_log_likelihoods
+            ):
+                raise AssertionError(
+                    f"batched multichain fit (S={n_starts}, kernel_threads="
+                    f"{threads}) diverges from the pool fan-out"
+                )
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                batched.fit(graph)
+                best = min(best, time.perf_counter() - start)
+            row["batched"][str(threads)] = {
+                "seconds": best,
+                "bit_identical": True,
+                "speedup_vs_fanout": fanout_best / best,
+            }
+        records["by_starts"][str(n_starts)] = row
+    return records
+
+
 def bench_large_k(k: int, fit_params: dict) -> dict:
     """One large-k scale row: per-engine end-to-end fits on ``skg-k{k}``.
 
@@ -341,6 +440,7 @@ def bench_workload(
     }
     if name == multistart_workload(quick):
         record["multistart"] = bench_multistart(graph, repeats, fit_params)
+        record["multichain"] = bench_multichain(graph, repeats, fit_params, quick)
     return record
 
 
@@ -386,6 +486,49 @@ def _multistart_floor(results: list[dict], quick: bool) -> dict:
         entry["skip_reason"] = (
             f"host exposes {cores} usable core(s); parallel fan-out cannot "
             f"beat serial wall-clock"
+        )
+    else:
+        entry["asserted"] = True
+    return entry
+
+
+def _multichain_floor(results: list[dict], quick: bool) -> dict:
+    """The batched-vs-fan-out speedup at S=8, kernel_threads=1.
+
+    The complement of :func:`_multistart_floor`: batching S chains into
+    one native call needs no second core to beat the pool fan-out, so
+    the ≥2× floor is asserted exactly where the pool floor cannot be
+    (hosts with one usable core).  Multi-core hosts record the
+    measurement and lean on the pool floor instead — every host asserts
+    exactly one of the two multi-start floors.
+    """
+    cores = usable_cores()
+    entry = {
+        "workload": multistart_workload(quick),
+        "n_starts": MULTICHAIN_STARTS[0],
+        "kernel_threads": 1,
+        "fanout_n_jobs": MULTICHAIN_FANOUT_JOBS,
+        "required": MULTICHAIN_FLOOR,
+        "measured": None,
+        "usable_cores": cores,
+        "asserted": False,
+        "skip_reason": None,
+    }
+    record = next(
+        (r for r in results if r["workload"] == entry["workload"] and "multichain" in r),
+        None,
+    )
+    if record is None:
+        entry["skip_reason"] = "floor workload not benchmarked"
+        return entry
+    row = record["multichain"]["by_starts"][str(MULTICHAIN_STARTS[0])]
+    entry["measured"] = row["batched"]["1"]["speedup_vs_fanout"]
+    if quick:
+        entry["skip_reason"] = "quick run"
+    elif cores > 1:
+        entry["skip_reason"] = (
+            f"host exposes {cores} usable cores; the pool fan-out floor "
+            f"(multistart_floor) is asserted there instead"
         )
     else:
         entry["asserted"] = True
@@ -476,6 +619,21 @@ def main(argv: list[str] | None = None) -> int:
                     f"({entry['speedup_vs_serial']:.2f}x vs serial, "
                     f"start {entry['winning_start']} wins)"
                 )
+        if "multichain" in record:
+            multichain = record["multichain"]
+            for n_starts, row in multichain["by_starts"].items():
+                print(
+                    f"{'':12s}   fanout[S={n_starts}, n_jobs="
+                    f"{row['fanout']['n_jobs']}] "
+                    f"{row['fanout']['seconds'] * 1000:9.1f} ms "
+                    f"(start {row['winning_start']} wins)"
+                )
+                for threads, entry in row["batched"].items():
+                    print(
+                        f"{'':12s}   batched[S={n_starts}, threads={threads}] "
+                        f"{entry['seconds'] * 1000:9.1f} ms "
+                        f"({entry['speedup_vs_fanout']:.2f}x vs fan-out)"
+                    )
 
     large_k_rows = []
     for k in LARGE_K_QUICK_ORDERS if arguments.quick else LARGE_K_ORDERS:
@@ -495,6 +653,7 @@ def main(argv: list[str] | None = None) -> int:
 
     fused_floor = _fused_floor(results)
     multistart_floor = _multistart_floor(results, arguments.quick)
+    multichain_floor = _multichain_floor(results, arguments.quick)
     large_k_floor = _large_k_floor(large_k_rows)
     report = {
         "bench": "bench_kronfit",
@@ -506,6 +665,7 @@ def main(argv: list[str] | None = None) -> int:
         "chain_backends_available": list(available_chain_backends()),
         "fused_fit_floor": fused_floor,
         "multistart_floor": multistart_floor,
+        "multichain_floor": multichain_floor,
         "large_k_fit_floor": large_k_floor,
         "workloads": results,
         "large_k": large_k_rows,
@@ -557,6 +717,23 @@ def main(argv: list[str] | None = None) -> int:
             f"multi-start floor recorded but not asserted "
             f"({multistart_floor['skip_reason']}): "
             f"{multistart_floor['measured']:.2f}x"
+        )
+    if multichain_floor["asserted"]:
+        assert multichain_floor["measured"] >= MULTICHAIN_FLOOR, (
+            f"batched multichain S={MULTICHAIN_STARTS[0]} (kernel_threads=1) "
+            f"is only {multichain_floor['measured']:.2f}x over the "
+            f"n_jobs={MULTICHAIN_FANOUT_JOBS} pool fan-out on "
+            f"{multichain_floor['workload']} (floor: {MULTICHAIN_FLOOR}x)"
+        )
+        print(
+            f"{multichain_floor['workload']} batched multichain "
+            f"{multichain_floor['measured']:.2f}x >= {MULTICHAIN_FLOOR}x floor"
+        )
+    elif multichain_floor["measured"] is not None:
+        print(
+            f"multichain floor recorded but not asserted "
+            f"({multichain_floor['skip_reason']}): "
+            f"{multichain_floor['measured']:.2f}x"
         )
     return 0
 

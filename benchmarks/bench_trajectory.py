@@ -4,8 +4,9 @@ The committed ``benchmarks/out/BENCH_trajectory.json`` is the repo's
 performance history: each row condenses one commit's quick-bench reports
 (``bench_stats.py`` and ``bench_kronfit.py`` ``--quick`` outputs) into
 the headline numbers the ROADMAP tracks — the combined counting-path
-speedup, the fused pass speedup over blocked scipy, and the fused
-KronFit fit speedup over the numpy chain.  The CI bench-smoke job
+speedup, the fused pass speedup over blocked scipy, the fused KronFit
+fit speedup over the numpy chain, and the batched multichain speedup
+over the pool fan-out.  The CI bench-smoke job
 appends the current commit's row on every run; re-benching the same
 commit replaces its row, so the trajectory has one row per commit and is
 sorted by the time it was recorded.
@@ -105,35 +106,45 @@ def _stats_headline(report: dict) -> dict:
 
 
 def _kronfit_headline(report: dict) -> dict:
-    """Fused fit speedup over the numpy chain: the floor record when it
-    was measured, else the best measured workload/backend."""
+    """Fused fit speedup over the numpy chain (floor record when it was
+    measured, else the best measured workload/backend), plus the batched
+    multichain-vs-fan-out speedup (schema ≥ 4 reports; older reports
+    record ``None`` and the gate skips the headline)."""
     floor = report["fused_fit_floor"]
     if floor["measured"] is not None:
-        return {
+        headline = {
             "workload": floor["workload"],
             "backend": floor["backend"],
             "fit_speedup": floor["measured"],
         }
-    best = {"workload": None, "backend": None, "fit_speedup": None}
-    for workload in report["workloads"]:
-        for backend, entry in workload["fit"].items():
-            if backend == "params" or not isinstance(entry, dict):
-                continue
-            speedup = entry.get("speedup_vs_numpy")
-            if backend == "numpy" or not entry.get("available") or speedup is None:
-                continue
-            if best["fit_speedup"] is None or speedup > best["fit_speedup"]:
-                best = {
-                    "workload": workload["workload"],
-                    "backend": backend,
-                    "fit_speedup": speedup,
-                }
-    return best
+    else:
+        headline = {"workload": None, "backend": None, "fit_speedup": None}
+        for workload in report["workloads"]:
+            for backend, entry in workload["fit"].items():
+                if backend == "params" or not isinstance(entry, dict):
+                    continue
+                speedup = entry.get("speedup_vs_numpy")
+                if backend == "numpy" or not entry.get("available") or speedup is None:
+                    continue
+                if headline["fit_speedup"] is None or speedup > headline["fit_speedup"]:
+                    headline = {
+                        "workload": workload["workload"],
+                        "backend": backend,
+                        "fit_speedup": speedup,
+                    }
+    multichain = report.get("multichain_floor") or {}
+    headline["multichain_speedup"] = multichain.get("measured")
+    return headline
 
 
 # The headline numbers the regression gate watches, as (section, key)
-# paths into a trajectory row.
-GATE_KEYS = (("stats", "combined_speedup"), ("kronfit", "fit_speedup"))
+# paths into a trajectory row.  Rows predating a headline simply lack
+# its key — check_regression treats absence as "not measured" and skips.
+GATE_KEYS = (
+    ("stats", "combined_speedup"),
+    ("kronfit", "fit_speedup"),
+    ("kronfit", "multichain_speedup"),
+)
 
 # Quick-mode rows are measured on shared CI runners: noisy.  The gate is
 # a tripwire for real regressions (a kernel accidentally knocked off its

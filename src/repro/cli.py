@@ -95,6 +95,7 @@ from repro.core.estimator import PrivateKroneckerEstimator
 from repro.core.nonprivate import fit_kronfit, fit_kronmom
 from repro.kronecker.initiator import Initiator
 from repro.kronecker.sampling import sample_skg
+from repro.native.registry import KERNEL_THREADS_ENV, resolve_kernel_threads
 from repro.stats.kernels import (
     KERNEL_BACKEND_CHOICES,
     KERNEL_BACKEND_ENV,
@@ -136,6 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
             "auto prefers the fused numba/C kernels and falls back to the "
             "pure-Python references; results are bit-identical for any "
             "backend)"
+        ),
+    )
+    parser.add_argument(
+        "--kernel-threads",
+        type=int,
+        default=None,
+        dest="kernel_threads",
+        help=(
+            "threads the batched multichain kernel shards KronFit multi-start "
+            "chains across (sets REPRO_KERNEL_THREADS; 0 = all usable cores; "
+            "results are bit-identical for any value)"
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
@@ -434,6 +446,12 @@ def main(argv: list[str] | None = None) -> int:
             # rather than mid-pipeline.
             resolve_kernel_backend(arguments.kernel_backend)
             os.environ[KERNEL_BACKEND_ENV] = arguments.kernel_backend
+        if arguments.kernel_threads is not None:
+            # Same pattern: the multichain kernel reads the knob wherever
+            # a batched multi-start fit is constructed (including inside
+            # pool workers, which inherit the environment).
+            resolve_kernel_threads(arguments.kernel_threads)
+            os.environ[KERNEL_THREADS_ENV] = str(arguments.kernel_threads)
         handler = _HANDLERS[arguments.command]
         return handler(arguments)
     except ReproError as error:

@@ -47,6 +47,13 @@ Counting-kernel knobs (consumed by :mod:`repro.stats.kernels`):
   are computed.  Mirrored as ``config.kernel_backend`` for bench
   provenance (and threaded into Table 1's KronFit trials), like the
   block size.
+* ``REPRO_KERNEL_THREADS`` — threads the batched multichain kernel
+  shards chains across when a multi-start KronFit fit advances all its
+  chains in one native call (default 1; ``0`` = all usable cores).
+  Purely a throughput knob — chains are data-independent, so results
+  are bit-identical for any value.  Mirrored as
+  ``config.kernel_threads`` and threaded into Table 1 / scenario
+  KronFit fits.
 
 CI sets ``REPRO_REALIZATIONS=2`` with ``REPRO_N_JOBS=2`` so one figure
 bench exercises the full parallel harness end-to-end in minutes; paper
@@ -89,6 +96,7 @@ class ExperimentConfig:
     cache_dir: str = ""  # trial-cache directory; empty = caching disabled
     block_size: int = 0  # A²-pass rows per block; 0 = auto-tuned
     kernel_backend: str = "auto"  # A²-pass engine; auto = fused if available
+    kernel_threads: int = 1  # multichain kernel threads; 0 = all cores
 
     @property
     def trial_cache(self) -> str | None:
@@ -149,4 +157,5 @@ def default_config() -> ExperimentConfig:
         kernel_backend=_env_choice(
             "REPRO_KERNEL_BACKEND", base.kernel_backend, KERNEL_BACKEND_CHOICES
         ),
+        kernel_threads=_env_int("REPRO_KERNEL_THREADS", base.kernel_threads),
     )

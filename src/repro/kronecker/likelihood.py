@@ -41,8 +41,11 @@ from repro.kronecker.initiator import Initiator, as_initiator
 from repro.native.chain import (
     chain_kernel,
     draw_proposal_batch,
+    multichain_kernel,
     resolve_chain_backend,
+    resolve_multichain_backend,
 )
+from repro.native.registry import resolve_kernel_threads
 
 __all__ = [
     "edge_profiles",
@@ -50,6 +53,7 @@ __all__ = [
     "ProfileLikelihood",
     "exact_log_likelihood",
     "PermutationSampler",
+    "MultiChainSampler",
 ]
 
 # Initiator entries are clamped into this open interval before taking logs.
@@ -166,23 +170,35 @@ class ProfileLikelihood:
     # -- the permutation-invariant "empty graph" term ---------------------
 
     def _empty_graph_term(self, theta: Initiator) -> float:
-        a, b, c, k = theta.a, theta.b, theta.c, self.k
-        s1 = (a + 2 * b + c) ** k
-        d1 = (a + c) ** k
-        s2 = (a**2 + 2 * b**2 + c**2) ** k
-        d2 = (a**2 + c**2) ** k
-        return -(s1 - d1) / 2.0 - (s2 - d2) / 4.0
+        return _empty_graph_term(theta, self.k)
 
     def _empty_graph_gradient(self, a: float, b: float, c: float) -> np.ndarray:
-        k = self.k
-        s1_base = (a + 2 * b + c) ** (k - 1)
-        d1_base = (a + c) ** (k - 1)
-        s2_base = (a**2 + 2 * b**2 + c**2) ** (k - 1)
-        d2_base = (a**2 + c**2) ** (k - 1)
-        grad_a = -k * (s1_base - d1_base) / 2.0 - k * (2 * a * s2_base - 2 * a * d2_base) / 4.0
-        grad_b = -k * (2 * s1_base) / 2.0 - k * (4 * b * s2_base) / 4.0
-        grad_c = -k * (s1_base - d1_base) / 2.0 - k * (2 * c * s2_base - 2 * c * d2_base) / 4.0
-        return np.array([grad_a, grad_b, grad_c])
+        return _empty_graph_gradient(a, b, c, self.k)
+
+
+def _empty_graph_term(theta: Initiator, k: int) -> float:
+    """The Taylor-approximated Σ log(1−P) over all pairs (σ-invariant).
+
+    Module-level so the batched multi-start fit can evaluate it per chain
+    with the exact scalar arithmetic of :class:`ProfileLikelihood`.
+    """
+    a, b, c = theta.a, theta.b, theta.c
+    s1 = (a + 2 * b + c) ** k
+    d1 = (a + c) ** k
+    s2 = (a**2 + 2 * b**2 + c**2) ** k
+    d2 = (a**2 + c**2) ** k
+    return -(s1 - d1) / 2.0 - (s2 - d2) / 4.0
+
+
+def _empty_graph_gradient(a: float, b: float, c: float, k: int) -> np.ndarray:
+    s1_base = (a + 2 * b + c) ** (k - 1)
+    d1_base = (a + c) ** (k - 1)
+    s2_base = (a**2 + 2 * b**2 + c**2) ** (k - 1)
+    d2_base = (a**2 + c**2) ** (k - 1)
+    grad_a = -k * (s1_base - d1_base) / 2.0 - k * (2 * a * s2_base - 2 * a * d2_base) / 4.0
+    grad_b = -k * (2 * s1_base) / 2.0 - k * (4 * b * s2_base) / 4.0
+    grad_c = -k * (s1_base - d1_base) / 2.0 - k * (2 * c * s2_base - 2 * c * d2_base) / 4.0
+    return np.array([grad_a, grad_b, grad_c])
 
 
 def exact_log_likelihood(initiator, graph: Graph, sigma: np.ndarray, k: int) -> float:
@@ -500,6 +516,229 @@ class PermutationSampler:
         counts, touched = self._count_delta(i, j)
         delta, _ = self._scan_delta(counts, touched)
         return delta
+
+
+class MultiChainSampler:
+    """S independent Metropolis chains over σ advanced in one native call.
+
+    Each chain has its own Θ, σ, score table, and profile histogram —
+    multi-start KronFit runs one chain per start — but they share the
+    graph's CSR structure, so the whole ensemble advances inside a single
+    :func:`repro.native.chain.multichain_block` call, sharded across
+    threads (``threads`` / ``REPRO_KERNEL_THREADS``).  Every chain is
+    **bit-identical** to the solo :class:`PermutationSampler` trajectory
+    it replaces, for any backend, batch size, or thread count: the draws
+    are made per chain in chain order with the same
+    :func:`~repro.native.chain.draw_proposal_batch` contract, and the
+    kernel's per-chain arithmetic is integer-exact against the solo
+    kernel's (see the multichain section of :mod:`repro.native.chain`).
+
+    Per-chain state is stacked into C-contiguous blocks; each chain is
+    still exposed as a :class:`PermutationSampler` whose arrays alias the
+    stacked rows (:meth:`chain`), so observables — ``sigma``,
+    ``accepted``, ``proposed``, :meth:`PermutationSampler.histogram`,
+    ``score_touches`` — read exactly like the solo sampler's.  Mutate a
+    chain only through :meth:`set_theta` / :meth:`set_sigma` (calling the
+    adapter's own setters directly would desynchronize the stacked score
+    row the fused kernel reads).
+
+    The ``numpy`` reference engine loops the per-chain reference blocks;
+    ``numba`` / ``cext`` run the fused multichain kernel.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        k: int,
+        thetas,
+        sigmas=None,
+        backend: str | None = None,
+        threads: int | None = None,
+    ):
+        thetas = list(thetas)
+        if not thetas:
+            raise ValidationError("MultiChainSampler needs at least one chain")
+        if sigmas is None:
+            sigmas = [None] * len(thetas)
+        else:
+            sigmas = list(sigmas)
+            if len(sigmas) != len(thetas):
+                raise ValidationError(
+                    f"got {len(sigmas)} sigmas for {len(thetas)} chains"
+                )
+        self.graph = graph
+        self.k = k
+        self.n_chains = len(thetas)
+        # Resolve engine and threads eagerly: misconfiguration fails at
+        # construction, not mid-fit.
+        self.backend = resolve_multichain_backend(backend)
+        self.threads = resolve_kernel_threads(threads)
+        # Per-chain adapters carry the solo sampler's validation and
+        # observables; their engine is the reference (the fused call, when
+        # any, happens at the ensemble level).
+        self._chains = [
+            PermutationSampler(graph, k, theta, sigma=sigma, backend="numpy")
+            for theta, sigma in zip(thetas, sigmas)
+        ]
+        # Stack the mutable per-chain state into C-contiguous blocks and
+        # re-alias each adapter onto its row, so adapter observables stay
+        # live views of what the fused kernel mutates.
+        self._sigma = np.stack([chain.sigma for chain in self._chains])
+        self._hist = np.stack([chain._hist for chain in self._chains])
+        self._score = np.stack([chain._score for chain in self._chains])
+        self._counts = np.zeros(
+            (self.n_chains, self._chains[0]._n_cells), dtype=np.int64
+        )
+        self._touched_len = self._chains[0]._touched.shape[0]
+        self._touched = np.zeros(
+            (self.n_chains, self._touched_len), dtype=np.int64
+        )
+        self._stats = np.zeros(self.n_chains, dtype=np.int64)
+        self._accepted_scratch = np.zeros(self.n_chains, dtype=np.int64)
+        for s, chain in enumerate(self._chains):
+            self._realias(s)
+            chain._counts = self._counts[s]
+            chain._touched = self._touched[s]
+            chain._stats = self._stats[s : s + 1]
+        self._kernel = None
+        if self.backend != "numpy":
+            self._kernel = multichain_kernel(self.backend)
+            adjacency = graph.adjacency
+            self._indptr32 = np.ascontiguousarray(
+                adjacency.indptr, dtype=np.int32
+            )
+            self._indices32 = np.ascontiguousarray(
+                adjacency.indices, dtype=np.int32
+            )
+        # Draw-stream buffers, reused across same-length run() calls.
+        self._streams: dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def chain(self, index: int) -> PermutationSampler:
+        """Chain ``index`` as a live solo-sampler view (read observables
+        through it; mutate only via the ensemble setters)."""
+        return self._chains[index]
+
+    def set_theta(self, index: int, theta: Initiator) -> None:
+        """Update chain ``index``'s Θ (rebuilds its tables and score row)."""
+        self._chains[index].set_theta(theta)
+        self._score[index, :] = self._chains[index]._score
+        self._realias(index)
+
+    def set_sigma(self, index: int, sigma: np.ndarray) -> None:
+        """Replace chain ``index``'s σ (rebuilds its profile histogram)."""
+        self._chains[index].set_sigma(sigma)
+        self._sigma[index, :] = self._chains[index].sigma
+        self._hist[index, :] = self._chains[index]._hist
+        self._realias(index)
+
+    def histograms(self) -> np.ndarray:
+        """All profile histograms, stacked ``(S, k+1, k+1)`` (a copy)."""
+        return self._hist.reshape(
+            self.n_chains, self.k + 1, self.k + 1
+        ).copy()
+
+    def run(
+        self,
+        n_steps: int,
+        rngs,
+        batch_size: int | None = None,
+    ) -> None:
+        """Advance every chain ``n_steps`` proposals.
+
+        ``rngs`` holds one generator per chain; streams are pre-drawn per
+        chain **in chain order** with the draw contract, so chain ``s``
+        consumes its generator exactly like a solo sampler would — then
+        the whole ensemble executes the batch in one fused call (or the
+        per-chain reference loop under the ``numpy`` engine).
+        """
+        rngs = list(rngs)
+        if len(rngs) != self.n_chains:
+            raise ValidationError(
+                f"got {len(rngs)} generators for {self.n_chains} chains"
+            )
+        if n_steps < 0:
+            raise ValidationError(f"n_steps must be non-negative, got {n_steps}")
+        if n_steps == 0 or self.graph.n_nodes < 2:
+            return
+        streams = self._streams.get(n_steps)
+        if streams is None:
+            streams = (
+                np.empty((self.n_chains, n_steps), dtype=np.int64),
+                np.empty((self.n_chains, n_steps), dtype=np.int64),
+                np.empty((self.n_chains, n_steps), dtype=np.float64),
+            )
+            self._streams[n_steps] = streams
+        i_all, j_all, u_all = streams
+        for s, rng in enumerate(rngs):
+            i_nodes, j_nodes, log_u = draw_proposal_batch(
+                rng, self.graph.n_nodes, n_steps
+            )
+            i_all[s] = i_nodes
+            j_all[s] = j_nodes
+            u_all[s] = log_u
+        self._execute(i_all, j_all, u_all, batch_size)
+
+    # -- internals --------------------------------------------------------
+
+    def _realias(self, index: int) -> None:
+        """Point adapter ``index``'s arrays at its stacked rows."""
+        chain = self._chains[index]
+        chain.sigma = self._sigma[index]
+        chain._hist = self._hist[index]
+        chain._score = self._score[index]
+
+    def _execute(
+        self,
+        i_all: np.ndarray,
+        j_all: np.ndarray,
+        u_all: np.ndarray,
+        batch_size: int | None = None,
+    ) -> None:
+        total = i_all.shape[1]
+        if self._kernel is None:
+            for s, chain in enumerate(self._chains):
+                chain._execute(i_all[s], j_all[s], u_all[s], batch_size)
+            return
+        if batch_size is None:
+            batch_size = total
+        if batch_size < 1:
+            raise ValidationError(
+                f"batch_size must be positive, got {batch_size}"
+            )
+        if self.backend == "numba":
+            import numba
+
+            numba.set_num_threads(
+                max(1, min(self.threads, numba.config.NUMBA_NUM_THREADS))
+            )
+        for start in range(0, total, batch_size):
+            stop = min(start + batch_size, total)
+            self._kernel(
+                self._indptr32,
+                self._indices32,
+                self.n_chains,
+                self.graph.n_nodes,
+                self._sigma.ravel(),
+                self.k,
+                self._score.ravel(),
+                self._hist.ravel(),
+                self._counts.ravel(),
+                self._touched.ravel(),
+                self._touched_len,
+                self._stats,
+                i_all.ravel(),
+                j_all.ravel(),
+                u_all.ravel(),
+                total,
+                start,
+                stop,
+                self._accepted_scratch,
+                self.threads,
+            )
+            for s, chain in enumerate(self._chains):
+                chain.accepted += int(self._accepted_scratch[s])
+        for chain in self._chains:
+            chain.proposed += total
 
 
 def degree_matched_initial_sigma(graph: Graph, k: int) -> np.ndarray:

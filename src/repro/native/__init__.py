@@ -7,7 +7,11 @@ engines selected by one knob, ``REPRO_KERNEL_BACKEND``:
   masked A² pass behind :func:`repro.stats.kernels.triangle_pass`;
 * the **chain kernel** (:mod:`repro.native.chain`) — batched Metropolis
   proposals for KronFit's permutation sampler
-  (:class:`repro.kronecker.likelihood.PermutationSampler`).
+  (:class:`repro.kronecker.likelihood.PermutationSampler`);
+* the **multichain kernel** (same module) — S independent chains per
+  native call for multi-start KronFit
+  (:class:`repro.kronecker.likelihood.MultiChainSampler`), sharded
+  across threads via the ``REPRO_KERNEL_THREADS`` knob.
 
 Each kernel is written twice — a numba-jittable Python loop nest and an
 identical C function compiled on first use via the system compiler — and
@@ -21,13 +25,21 @@ bit-identical to its pure-Python reference; the knob only selects speed.
 from repro.native.chain import (
     CHAIN_BACKENDS,
     CHAIN_KERNEL,
+    MULTICHAIN_BACKENDS,
+    MULTICHAIN_KERNEL,
     available_chain_backends,
+    available_multichain_backends,
     chain_backend_available,
     chain_backend_error,
     chain_block,
     chain_kernel,
     draw_proposal_batch,
+    multichain_backend_available,
+    multichain_backend_error,
+    multichain_block,
+    multichain_kernel,
     resolve_chain_backend,
+    resolve_multichain_backend,
 )
 from repro.native.counting import (
     COUNTING_KERNEL,
@@ -39,22 +51,28 @@ from repro.native.counting import (
 )
 from repro.native.registry import (
     KERNEL_BACKEND_ENV,
+    KERNEL_THREADS_ENV,
     NATIVE_BACKENDS,
+    OPENMP_ENV,
     NativeKernel,
     available_backends,
     auto_backend,
     compile_shared_library,
     resolve_backend,
+    resolve_kernel_threads,
 )
 
 __all__ = [
     "NATIVE_BACKENDS",
     "KERNEL_BACKEND_ENV",
+    "KERNEL_THREADS_ENV",
+    "OPENMP_ENV",
     "NativeKernel",
     "compile_shared_library",
     "resolve_backend",
     "auto_backend",
     "available_backends",
+    "resolve_kernel_threads",
     "COUNTING_KERNEL",
     "FUSED_BACKENDS",
     "backend_available",
@@ -70,4 +88,12 @@ __all__ = [
     "draw_proposal_batch",
     "resolve_chain_backend",
     "available_chain_backends",
+    "MULTICHAIN_KERNEL",
+    "MULTICHAIN_BACKENDS",
+    "multichain_block",
+    "multichain_backend_available",
+    "multichain_backend_error",
+    "multichain_kernel",
+    "resolve_multichain_backend",
+    "available_multichain_backends",
 ]

@@ -57,6 +57,27 @@ reference lives with its caller,
 matrix (``tests/kronecker/test_chain_equivalence.py``) pins every
 backend × batch size × graph family × θ cell to identical σ trajectories,
 histograms, and acceptance counts.
+
+**The multichain family** (:func:`multichain_block`) advances S
+*independent* chains — each with its own σ, score table, histogram, and
+pre-drawn draw-contract streams — in one native call, parallelized
+*across chains* (OpenMP in C, ``numba.prange`` in the jit; both optional
+and inert when unavailable).  Within a chain the proposal loop is the
+same contract as :func:`chain_block`, with one integer-exact rewrite: the
+profile cell is derived via the popcount identity
+``popcount(id ^ w) = popcount(id) + popcount(w) − 2·popcount(id & w)``,
+so each neighbor costs three popcounts instead of four and the row index
+``z = (k − popcount(id)) − popcount(w) + o`` hoists the two
+``k − popcount(id)`` terms out of the neighbor loops.  All quantities are
+integers, so every touched cell — and therefore every float accumulation
+sequence and accept/reject decision — is *identical* to the single-chain
+kernel's: chain ``c`` of a batched call is bit-identical to the solo
+trajectory it replaces, for any chain count, batch size, or thread count
+(threads only shard whole chains).  The C twin uses the compiler's
+``__builtin_popcountll`` (same values as the SWAR popcount the Python
+twin keeps, enforced by the equivalence matrix), and its registration
+offers ``-fopenmp`` and ``-mpopcnt`` as optional compile flags with
+graceful fallback.
 """
 
 from __future__ import annotations
@@ -73,6 +94,12 @@ from repro.native.registry import (
     resolve_backend,
 )
 
+try:  # numba.prange parallelizes under njit(parallel=True); without
+    # numba the plain function still runs — prange degrades to range.
+    from numba import prange
+except ImportError:  # pragma: no cover - exercised on numba-less hosts
+    prange = range
+
 __all__ = [
     "CHAIN_KERNEL",
     "CHAIN_BACKENDS",
@@ -83,6 +110,14 @@ __all__ = [
     "resolve_chain_backend",
     "available_chain_backends",
     "draw_proposal_batch",
+    "MULTICHAIN_KERNEL",
+    "MULTICHAIN_BACKENDS",
+    "multichain_block",
+    "multichain_backend_available",
+    "multichain_backend_error",
+    "multichain_kernel",
+    "resolve_multichain_backend",
+    "available_multichain_backends",
 ]
 
 # Accepted values of the chain-backend knob.  The chain's pure-Python
@@ -487,3 +522,446 @@ def resolve_chain_backend(backend: str | None = None) -> str:
 def available_chain_backends() -> tuple[str, ...]:
     """The chain engines that can run on this host (numpy always can)."""
     return available_backends(CHAIN_KERNEL, "numpy")
+
+
+# ---------------------------------------------------------------------------
+# The multichain family: S independent chains per native call.
+# ---------------------------------------------------------------------------
+
+# The multichain knob accepts the same values as the single-chain knob;
+# its pure-Python reference engine ("numpy") loops the per-chain
+# reference inside MultiChainSampler.
+MULTICHAIN_BACKENDS = CHAIN_BACKENDS
+
+
+def multichain_block(
+    indptr,
+    indices,
+    n_chains,
+    n_nodes,
+    sigma_all,
+    k,
+    score_all,
+    hist_all,
+    counts_all,
+    touched_all,
+    touched_len,
+    stats_all,
+    i_all,
+    j_all,
+    u_all,
+    stream_len,
+    start,
+    stop,
+    accepted_all,
+    n_threads,
+):
+    """Execute proposals ``[start, stop)`` of S pre-drawn streams in place.
+
+    Stacked per-chain state is passed as flat C-contiguous arrays: chain
+    ``c`` owns ``sigma_all[c·n_nodes:]``, the ``(k+1)²``-long slices of
+    ``score_all`` / ``hist_all`` / ``counts_all`` at ``c·(k+1)²``, the
+    ``touched_len``-long event scratch at ``c·touched_len``, and the
+    draw-contract streams ``i_all``/``j_all``/``u_all`` at
+    ``c·stream_len``.  ``accepted_all[c]`` is *set* to the number of
+    accepted swaps of this call (the caller accumulates);
+    ``stats_all[c]`` accumulates score-table touches exactly like the
+    solo kernel's ``stats[0]``.  ``n_threads`` only shards chains across
+    OpenMP/numba threads — per-chain arithmetic is untouched, so results
+    are bit-identical for any thread count.  Returns the total accepted
+    across chains.
+
+    Within a chain this is the :func:`chain_block` contract with the
+    popcount-identity cell derivation (see the module docstring):
+    integer-exact, so trajectories match the solo kernel bit for bit.
+    """
+
+    def popcount(v):
+        # Branch-free SWAR popcount; the C twin uses the compiler
+        # builtin, which returns identical values for Kronecker ids.
+        v = v - ((v >> 1) & 0x5555555555555555)
+        v = (v & 0x3333333333333333) + ((v >> 2) & 0x3333333333333333)
+        v = (v + (v >> 4)) & 0x0F0F0F0F0F0F0F0F
+        v = v + (v >> 8)
+        v = v + (v >> 16)
+        v = v + (v >> 32)
+        return v & 0x7F
+
+    n_cells = (k + 1) * (k + 1)
+    for c in prange(n_chains):
+        s0 = c * n_nodes
+        g0 = c * n_cells
+        t0 = c * touched_len
+        d0 = c * stream_len
+        accepted = 0
+        touches = 0
+        for t in range(start, stop):
+            i = i_all[d0 + t]
+            j = j_all[d0 + t]
+            id_i = sigma_all[s0 + i]
+            id_j = sigma_all[s0 + j]
+            # Popcount identity: cell row z = (k − pc(id)) − pc(wid) + o,
+            # so the two k − pc(id) terms hoist out of the neighbor loops
+            # and each neighbor costs three popcounts instead of four.
+            zi = k - popcount(id_i)
+            zj = k - popcount(id_j)
+            n_touched = 0
+            for idx in range(indptr[i], indptr[i + 1]):
+                w = indices[idx]
+                if w == j:
+                    continue
+                wid = sigma_all[s0 + w]
+                zw = zi - popcount(wid)
+                o = popcount(id_i & wid)
+                cell = (zw + o) * (k + 1) + o
+                counts_all[g0 + cell] -= 1
+                touched_all[t0 + n_touched] = cell
+                n_touched += 1
+                o = popcount(id_j & wid)
+                cell = (zw - zi + zj + o) * (k + 1) + o
+                counts_all[g0 + cell] += 1
+                touched_all[t0 + n_touched] = cell
+                n_touched += 1
+            for idx in range(indptr[j], indptr[j + 1]):
+                w = indices[idx]
+                if w == i:
+                    continue
+                wid = sigma_all[s0 + w]
+                zw = zj - popcount(wid)
+                o = popcount(id_j & wid)
+                cell = (zw + o) * (k + 1) + o
+                counts_all[g0 + cell] -= 1
+                touched_all[t0 + n_touched] = cell
+                n_touched += 1
+                o = popcount(id_i & wid)
+                cell = (zw - zj + zi + o) * (k + 1) + o
+                counts_all[g0 + cell] += 1
+                touched_all[t0 + n_touched] = cell
+                n_touched += 1
+            for a in range(1, n_touched):
+                key = touched_all[t0 + a]
+                b = a - 1
+                while b >= 0 and touched_all[t0 + b] > key:
+                    touched_all[t0 + b + 1] = touched_all[t0 + b]
+                    b -= 1
+                touched_all[t0 + b + 1] = key
+            delta = 0.0
+            previous = -1
+            for a in range(n_touched):
+                cell = touched_all[t0 + a]
+                if cell == previous:
+                    continue
+                previous = cell
+                if counts_all[g0 + cell] != 0:
+                    delta += counts_all[g0 + cell] * score_all[g0 + cell]
+                    touches += 1
+            if delta >= 0.0 or u_all[d0 + t] < delta:
+                sigma_all[s0 + i] = id_j
+                sigma_all[s0 + j] = id_i
+                accepted += 1
+                for a in range(n_touched):
+                    cell = touched_all[t0 + a]
+                    if counts_all[g0 + cell] != 0:
+                        hist_all[g0 + cell] += counts_all[g0 + cell]
+                        counts_all[g0 + cell] = 0
+            else:
+                for a in range(n_touched):
+                    counts_all[g0 + touched_all[t0 + a]] = 0
+        accepted_all[c] = accepted
+        stats_all[c] += touches
+    total = 0
+    for c in range(n_chains):
+        total += accepted_all[c]
+    return total
+
+
+# The cext twin of multichain_block.  Kept in lockstep with the Python
+# loop nest above; the only deviations are the compiler-builtin popcount
+# (identical values) and the OpenMP pragma (inert without -fopenmp, and
+# chains are data-independent, so threading never changes results).
+_MULTICHAIN_C_SOURCE = """\
+#include <stdint.h>
+
+int64_t repro_multichain_block(
+    const int32_t *indptr,
+    const int32_t *indices,
+    int64_t n_chains,
+    int64_t n_nodes,
+    int64_t *sigma_all,
+    int64_t k,
+    const double *score_all,
+    int64_t *hist_all,
+    int64_t *counts_all,
+    int64_t *touched_all,
+    int64_t touched_len,
+    int64_t *stats_all,
+    const int64_t *i_all,
+    const int64_t *j_all,
+    const double *u_all,
+    int64_t stream_len,
+    int64_t start,
+    int64_t stop,
+    int64_t *accepted_all,
+    int64_t n_threads)
+{
+    int64_t n_cells = (k + 1) * (k + 1);
+    int nt = n_threads > 0 ? (int)n_threads : 1;
+    (void)nt;
+#pragma omp parallel for num_threads(nt) schedule(static)
+    for (int64_t c = 0; c < n_chains; c++) {
+        int64_t *sigma = sigma_all + c * n_nodes;
+        const double *score = score_all + c * n_cells;
+        int64_t *hist = hist_all + c * n_cells;
+        int64_t *counts = counts_all + c * n_cells;
+        int64_t *touched = touched_all + c * touched_len;
+        const int64_t *i_nodes = i_all + c * stream_len;
+        const int64_t *j_nodes = j_all + c * stream_len;
+        const double *log_u = u_all + c * stream_len;
+        int64_t accepted = 0;
+        int64_t touches = 0;
+        for (int64_t t = start; t < stop; t++) {
+            int64_t i = i_nodes[t];
+            int64_t j = j_nodes[t];
+            int64_t id_i = sigma[i];
+            int64_t id_j = sigma[j];
+            int64_t o, wid, cell;
+            int64_t zi = k - __builtin_popcountll((uint64_t)id_i);
+            int64_t zj = k - __builtin_popcountll((uint64_t)id_j);
+            int64_t n_touched = 0;
+            for (int32_t idx = indptr[i]; idx < indptr[i + 1]; idx++) {
+                int32_t w = indices[idx];
+                if (w == j) {
+                    continue;
+                }
+                wid = sigma[w];
+                int64_t zw = zi - __builtin_popcountll((uint64_t)wid);
+                o = __builtin_popcountll((uint64_t)(id_i & wid));
+                cell = (zw + o) * (k + 1) + o;
+                counts[cell] -= 1;
+                touched[n_touched++] = cell;
+                o = __builtin_popcountll((uint64_t)(id_j & wid));
+                cell = (zw - zi + zj + o) * (k + 1) + o;
+                counts[cell] += 1;
+                touched[n_touched++] = cell;
+            }
+            for (int32_t idx = indptr[j]; idx < indptr[j + 1]; idx++) {
+                int32_t w = indices[idx];
+                if (w == i) {
+                    continue;
+                }
+                wid = sigma[w];
+                int64_t zw = zj - __builtin_popcountll((uint64_t)wid);
+                o = __builtin_popcountll((uint64_t)(id_j & wid));
+                cell = (zw + o) * (k + 1) + o;
+                counts[cell] -= 1;
+                touched[n_touched++] = cell;
+                o = __builtin_popcountll((uint64_t)(id_i & wid));
+                cell = (zw - zj + zi + o) * (k + 1) + o;
+                counts[cell] += 1;
+                touched[n_touched++] = cell;
+            }
+            for (int64_t a = 1; a < n_touched; a++) {
+                int64_t key = touched[a];
+                int64_t b = a - 1;
+                while (b >= 0 && touched[b] > key) {
+                    touched[b + 1] = touched[b];
+                    b -= 1;
+                }
+                touched[b + 1] = key;
+            }
+            double delta = 0.0;
+            int64_t previous = -1;
+            for (int64_t a = 0; a < n_touched; a++) {
+                cell = touched[a];
+                if (cell == previous) {
+                    continue;
+                }
+                previous = cell;
+                if (counts[cell] != 0) {
+                    delta += (double)counts[cell] * score[cell];
+                    touches += 1;
+                }
+            }
+            if (delta >= 0.0 || log_u[t] < delta) {
+                sigma[i] = id_j;
+                sigma[j] = id_i;
+                accepted += 1;
+                for (int64_t a = 0; a < n_touched; a++) {
+                    cell = touched[a];
+                    if (counts[cell] != 0) {
+                        hist[cell] += counts[cell];
+                        counts[cell] = 0;
+                    }
+                }
+            } else {
+                for (int64_t a = 0; a < n_touched; a++) {
+                    counts[touched[a]] = 0;
+                }
+            }
+        }
+        accepted_all[c] = accepted;
+        stats_all[c] += touches;
+    }
+    int64_t total = 0;
+    for (int64_t c = 0; c < n_chains; c++) {
+        total += accepted_all[c];
+    }
+    return total;
+}
+"""
+
+
+def _multichain_smoke_test(kernel: Callable) -> None:
+    """Run the kernel on three chains and compare against the solo kernel.
+
+    Three chains on the smoke path graph (0–1–2–3 at k=2) with different
+    σ, score tables, and acceptance thresholds — chain 0 is the exact
+    single-chain smoke instance.  Expected outputs come from running the
+    trusted plain-Python :func:`chain_block` per chain, so the check is
+    the family's core contract itself: each batched chain must match its
+    solo trajectory exactly.  Runs with ``n_threads=2`` to exercise the
+    threaded path at probe time.
+    """
+    indptr = np.array([0, 1, 3, 5, 6], dtype=np.int32)
+    indices = np.array([1, 0, 2, 1, 3, 2], dtype=np.int32)
+    base_score = np.array(
+        [0.5, -0.25, 0.125, 1.5, 0.0, 0.0, 0.0, 0.0, 0.0], dtype=np.float64
+    )
+    sigma = np.stack(
+        [
+            np.arange(4, dtype=np.int64),
+            np.array([1, 0, 3, 2], dtype=np.int64),
+            np.array([3, 1, 2, 0], dtype=np.int64),
+        ]
+    )
+    score = np.stack([base_score, -base_score, 0.5 * base_score])
+    i_nodes = np.tile(np.array([1, 0, 0, 0], dtype=np.int64), (3, 1))
+    j_nodes = np.tile(np.array([3, 2, 1, 1], dtype=np.int64), (3, 1))
+    log_u = np.stack(
+        [
+            np.array([-2.0, -0.5, -0.5, -0.5], dtype=np.float64),
+            np.array([-0.5, -0.5, -0.5, -0.5], dtype=np.float64),
+            np.array([-0.01, -3.0, -0.01, -3.0], dtype=np.float64),
+        ]
+    )
+    hist = np.zeros((3, 9), dtype=np.int64)
+    counts = np.zeros((3, 9), dtype=np.int64)
+    touched = np.zeros((3, 16), dtype=np.int64)
+    stats = np.zeros(3, dtype=np.int64)
+    accepted = np.zeros(3, dtype=np.int64)
+
+    expected_sigma = sigma.copy()
+    expected_hist = hist.copy()
+    expected_stats = np.zeros(3, dtype=np.int64)
+    expected_accepted = np.zeros(3, dtype=np.int64)
+    for c in range(3):
+        scratch = np.zeros(9, dtype=np.int64)
+        events = np.zeros(16, dtype=np.int64)
+        stat = np.zeros(1, dtype=np.int64)
+        expected_accepted[c] = chain_block(
+            indptr, indices, expected_sigma[c], 2, score[c],
+            expected_hist[c], scratch, events, stat,
+            i_nodes[c], j_nodes[c], log_u[c], 0, 4,
+        )
+        expected_stats[c] = stat[0]
+
+    total = int(
+        kernel(
+            indptr, indices, 3, 4, sigma.ravel(), 2, score.ravel(),
+            hist.ravel(), counts.ravel(), touched.ravel(), 16, stats,
+            i_nodes.ravel(), j_nodes.ravel(), log_u.ravel(), 4, 0, 4,
+            accepted, 2,
+        )
+    )
+    if (
+        total != int(expected_accepted.sum())
+        or not np.array_equal(accepted, expected_accepted)
+        or not np.array_equal(sigma, expected_sigma)
+        or not np.array_equal(hist, expected_hist)
+        or not np.array_equal(stats, expected_stats)
+    ):
+        raise RuntimeError(
+            f"multichain kernel self-check failed: total={total}, "
+            f"accepted={accepted.tolist()}, sigma={sigma.tolist()}, "
+            f"hist={hist.tolist()}, stats={stats.tolist()}"
+        )
+    if counts.any():
+        raise RuntimeError(
+            "multichain kernel self-check failed: counts not zeroed"
+        )
+
+
+MULTICHAIN_KERNEL = NativeKernel(
+    name="multichain",
+    python_impl=multichain_block,
+    c_source=_MULTICHAIN_C_SOURCE,
+    c_symbol="repro_multichain_block",
+    c_restype=ctypes.c_int64,
+    c_argtypes=[
+        _INT32_ARG,  # indptr
+        _INT32_ARG,  # indices
+        ctypes.c_int64,  # n_chains
+        ctypes.c_int64,  # n_nodes
+        _INT64_ARG,  # sigma_all (flat S x n_nodes)
+        ctypes.c_int64,  # k
+        _FLOAT64_ARG,  # score_all (flat S x (k+1)^2)
+        _INT64_ARG,  # hist_all (flat S x (k+1)^2)
+        _INT64_ARG,  # counts_all scratch (flat S x (k+1)^2)
+        _INT64_ARG,  # touched_all scratch (flat S x touched_len)
+        ctypes.c_int64,  # touched_len
+        _INT64_ARG,  # stats_all (per-chain touch accumulators)
+        _INT64_ARG,  # i_all (flat S x stream_len)
+        _INT64_ARG,  # j_all
+        _FLOAT64_ARG,  # u_all
+        ctypes.c_int64,  # stream_len
+        ctypes.c_int64,  # start
+        ctypes.c_int64,  # stop
+        _INT64_ARG,  # accepted_all (per-chain, set per call)
+        ctypes.c_int64,  # n_threads
+    ],
+    smoke_test=_multichain_smoke_test,
+    numba_parallel=True,
+    c_optional_flags=("-fopenmp", "-mpopcnt"),
+)
+
+
+def multichain_backend_available(name: str) -> bool:
+    """Whether the fused multichain backend ``name`` can run here."""
+    return MULTICHAIN_KERNEL.available(name)
+
+
+def multichain_backend_error(name: str) -> str | None:
+    """Why ``name`` is unavailable (None when it is available)."""
+    return MULTICHAIN_KERNEL.error(name)
+
+
+def multichain_kernel(name: str) -> Callable:
+    """The batch kernel of an *available* fused multichain backend.
+
+    The callable has the :func:`multichain_block` signature and contract.
+    """
+    return MULTICHAIN_KERNEL.kernel(name)
+
+
+def resolve_multichain_backend(backend: str | None = None) -> str:
+    """The concrete multichain engine: argument, else environment.
+
+    Same contract as :func:`resolve_chain_backend` — ``auto`` prefers the
+    fused engines and silently falls back to the ``numpy`` reference (a
+    plain loop over per-chain reference engines inside
+    :class:`~repro.kronecker.likelihood.MultiChainSampler`); naming an
+    unavailable engine raises :class:`ValidationError`.  Every engine and
+    thread count produces bit-identical chains.
+    """
+    return resolve_backend(
+        MULTICHAIN_KERNEL,
+        backend,
+        accepted=MULTICHAIN_BACKENDS,
+        reference="numpy",
+        aliases=("scipy",),
+    )
+
+
+def available_multichain_backends() -> tuple[str, ...]:
+    """The multichain engines that can run here (numpy always can)."""
+    return available_backends(MULTICHAIN_KERNEL, "numpy")

@@ -34,6 +34,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import platform
 import shutil
 import subprocess
 import tempfile
@@ -45,11 +46,14 @@ from repro.errors import ValidationError
 __all__ = [
     "NATIVE_BACKENDS",
     "KERNEL_BACKEND_ENV",
+    "KERNEL_THREADS_ENV",
+    "OPENMP_ENV",
     "NativeKernel",
     "compile_shared_library",
     "resolve_backend",
     "auto_backend",
     "available_backends",
+    "resolve_kernel_threads",
 ]
 
 # Compiled backend names, in the preference order `auto` resolution uses.
@@ -58,6 +62,17 @@ NATIVE_BACKENDS = ("numba", "cext")
 # The environment knob shared by every native kernel (counting and chain).
 KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
 
+# Worker threads for batched kernels (the multichain family).  Resolution
+# order: explicit argument, then this environment variable, then 1.  A
+# value of 0 means "all usable cores".  Threads never change results —
+# chains are data-independent, so the thread count only shards them.
+KERNEL_THREADS_ENV = "REPRO_KERNEL_THREADS"
+
+# Set to "off" (or 0/no/false) to compile cext kernels without -fopenmp
+# even on hosts whose compiler supports it.  CI uses this to prove the
+# serial fallback stays bit-identical; it is not needed for correctness.
+OPENMP_ENV = "REPRO_OPENMP"
+
 # Compile flags for every cext kernel.  -ffp-contract=off forbids the
 # compiler from fusing a*b+c into an FMA: the chain kernel accumulates
 # float64 scores and must round exactly like the numba and numpy engines
@@ -65,6 +80,83 @@ KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
 # inert).  The flags participate in the cache key, so changing them
 # recompiles.
 _C_FLAGS = ("-O3", "-shared", "-fPIC", "-ffp-contract=off")
+
+# Values of OPENMP_ENV that disable the -fopenmp optional flag.
+_OPENMP_OFF = ("off", "0", "no", "false")
+
+
+def _host_supports_popcnt() -> bool:
+    """Whether this host can execute the x86 POPCNT instruction.
+
+    ``-mpopcnt`` is only ever *offered* as an optional flag; it must not
+    be passed on hosts whose CPU lacks the instruction (the compile would
+    succeed but the kernel would die with SIGILL at run time), so the
+    gate is the build host's own CPU flags — the compile cache is keyed
+    by the chosen flags, so heterogeneous hosts sharing a cache directory
+    build separate libraries.
+    """
+    if platform.machine() not in ("x86_64", "AMD64", "amd64"):
+        return False
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            return " popcnt" in handle.read()
+    except OSError:
+        return False
+
+
+def _enabled_optional_flags(flags: Sequence[str]) -> tuple[str, ...]:
+    """The subset of a kernel's optional compile flags usable on this host.
+
+    ``-fopenmp`` is dropped when :data:`OPENMP_ENV` says "off";
+    ``-mpopcnt`` is dropped unless the build host's CPU executes POPCNT.
+    Unknown optional flags pass through (the compile try/fallback in
+    :meth:`NativeKernel._probe_cext` still guards them).
+    """
+    chosen = []
+    for flag in flags:
+        if flag == "-fopenmp":
+            raw = os.environ.get(OPENMP_ENV, "").strip().lower()
+            if raw in _OPENMP_OFF:
+                continue
+        if flag == "-mpopcnt" and not _host_supports_popcnt():
+            continue
+        chosen.append(flag)
+    return tuple(chosen)
+
+
+def resolve_kernel_threads(threads: int | None = None) -> int:
+    """How many threads a batched kernel call should use.
+
+    Resolution order: explicit argument, then :data:`KERNEL_THREADS_ENV`,
+    then 1 (serial — the bit-identity contracts make threading purely a
+    throughput knob, so the conservative default never oversubscribes a
+    pool worker).  A value of 0 (or any negative value) means "all usable
+    cores".  Non-integer values fail loudly.
+    """
+    source = "argument"
+    if threads is None:
+        raw = os.environ.get(KERNEL_THREADS_ENV)
+        if not raw or not raw.strip():
+            return 1
+        source = f"environment variable {KERNEL_THREADS_ENV}"
+        try:
+            threads = int(raw.strip())
+        except ValueError:
+            raise ValidationError(
+                f"kernel threads (from {source}) must be an integer, "
+                f"got {raw!r}"
+            ) from None
+    if isinstance(threads, bool) or not isinstance(threads, int):
+        raise ValidationError(
+            f"kernel threads (from {source}) must be an integer, "
+            f"got {threads!r}"
+        )
+    if threads <= 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux hosts
+            return max(1, os.cpu_count() or 1)
+    return threads
 
 
 class NativeKernel:
@@ -88,6 +180,16 @@ class NativeKernel:
         instance; raising turns the probe into "backend unavailable"
         instead of corrupting results later.  Doubles as the numba
         warm-up compile.
+    numba_parallel:
+        Jit the Python loop nest with ``parallel=True`` so its
+        ``numba.prange`` loops shard across threads (the multichain
+        kernel); plain kernels leave it off.
+    c_optional_flags:
+        Extra compile flags that improve the C twin but are not required
+        for correctness (``-fopenmp``, ``-mpopcnt``).  Each is dropped
+        up-front when the host can't honour it, and the whole set falls
+        back to the base flags if the compile still fails; the flags that
+        did take effect are recorded in :attr:`cext_extra_flags`.
     """
 
     def __init__(
@@ -99,6 +201,8 @@ class NativeKernel:
         c_restype,
         c_argtypes: Sequence,
         smoke_test: Callable[[Callable], None],
+        numba_parallel: bool = False,
+        c_optional_flags: Sequence[str] = (),
     ) -> None:
         self.name = name
         self.python_impl = python_impl
@@ -107,6 +211,12 @@ class NativeKernel:
         self.c_restype = c_restype
         self.c_argtypes = list(c_argtypes)
         self.smoke_test = smoke_test
+        self.numba_parallel = numba_parallel
+        self.c_optional_flags = tuple(c_optional_flags)
+        # The optional flags the cext probe actually compiled with (None
+        # until the probe has run).  CI's OpenMP-less fallback check
+        # reads this to prove -fopenmp really was dropped.
+        self.cext_extra_flags: tuple[str, ...] | None = None
         # Lazily probed backend states: name -> (kernel or None, error or
         # None); exactly one of the two is None.  Tests monkeypatch
         # entries to simulate unavailable backends.
@@ -163,13 +273,34 @@ class NativeKernel:
         # new processes (CLI runs, pool workers under spawn) skip the
         # multi-second JIT; an unwritable cache location degrades to a
         # NumbaWarning plus an in-process compile, never an error.
-        kernel = numba.njit(self.python_impl, cache=True, nogil=True)
+        kernel = numba.njit(
+            self.python_impl,
+            cache=True,
+            nogil=True,
+            parallel=self.numba_parallel,
+        )
         self.smoke_test(kernel)
         return kernel
 
     def _probe_cext(self) -> Callable:
-        """Compile the C twin into a cached shared library and load it."""
-        library = compile_shared_library(self.c_source, self.name)
+        """Compile the C twin into a cached shared library and load it.
+
+        Optional flags are tried first and dropped wholesale if the
+        compile fails — a host without OpenMP support still gets the
+        kernel, just serial (the ``#pragma omp`` lines become inert
+        unknown pragmas, so results are bit-identical either way).
+        """
+        extra_flags = _enabled_optional_flags(self.c_optional_flags)
+        try:
+            library = compile_shared_library(
+                self.c_source, self.name, extra_flags=extra_flags
+            )
+        except RuntimeError:
+            if not extra_flags:
+                raise
+            extra_flags = ()
+            library = compile_shared_library(self.c_source, self.name)
+        self.cext_extra_flags = extra_flags
         raw = getattr(ctypes.CDLL(str(library)), self.c_symbol)
         raw.restype = self.c_restype
         raw.argtypes = self.c_argtypes
@@ -181,18 +312,21 @@ class NativeKernel:
         return kernel
 
 
-def compile_shared_library(c_source: str, tag: str) -> Path:
+def compile_shared_library(
+    c_source: str, tag: str, extra_flags: Sequence[str] = ()
+) -> Path:
     """Compile (once per source revision) and return the library path.
 
     The library is keyed by a hash of the C source and the compile flags
-    in a per-user cache directory; concurrent processes may race to build
-    it, so each builds to a private temporary file and installs it with an
-    atomic rename.
+    (base and extra) in a per-user cache directory; concurrent processes
+    may race to build it, so each builds to a private temporary file and
+    installs it with an atomic rename.
     """
     compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
     if compiler is None:
         raise RuntimeError("no C compiler found (install cc/gcc or set CC)")
-    fingerprint = c_source + "\x00" + " ".join(_C_FLAGS)
+    flags = (*_C_FLAGS, *extra_flags)
+    fingerprint = c_source + "\x00" + " ".join(flags)
     digest = hashlib.sha256(fingerprint.encode()).hexdigest()[:16]
     cache_root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
         os.path.expanduser("~"), ".cache"
@@ -214,7 +348,7 @@ def compile_shared_library(c_source: str, tag: str) -> Path:
     os.close(library_fd)
     try:
         completed = subprocess.run(
-            [compiler, *_C_FLAGS, "-o", library_scratch, source_scratch],
+            [compiler, *flags, "-o", library_scratch, source_scratch],
             capture_output=True,
             text=True,
         )

@@ -67,16 +67,25 @@ def estimator_axis(method: str, config, *, n_starts: int | None = None) -> Estim
     """The configured estimator axis value for ``method``.
 
     Threads the config knobs each method consumes (KronFit's iteration
-    budget, chain backend, and multi-start count) into the spec so they
-    are part of every trial's cache key.
+    budget, chain backend, multi-start count, and multichain kernel
+    threads) into the spec so they are part of every trial's cache key.
+    Multi-start fits advance all their chains in one batched native call
+    per proposal batch (``KronFitEstimator``'s default ``multi_start``
+    strategy), sharded across ``config.kernel_threads`` threads — results
+    are bit-identical to the fanned-out per-start trials.
     """
     if method == "KronFit":
-        return EstimatorSpec.create(
-            "KronFit",
+        effective_starts = config.n_starts if n_starts is None else n_starts
+        params = dict(
             n_iterations=config.kronfit_iterations,
             backend=config.kernel_backend,
-            n_starts=config.n_starts if n_starts is None else n_starts,
+            n_starts=effective_starts,
         )
+        # kernel_threads only matters to multi-start fits; leaving it out
+        # of single-start specs keeps their historical cache keys.
+        if effective_starts > 1 and getattr(config, "kernel_threads", 1) != 1:
+            params["kernel_threads"] = config.kernel_threads
+        return EstimatorSpec.create("KronFit", **params)
     return EstimatorSpec.create(method)
 
 

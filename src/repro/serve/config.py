@@ -18,6 +18,9 @@ eagerly with the same clear errors:
   per-dataset (ε, δ) privacy budget every private request draws on.
 * ``REPRO_SERVE_LEDGER_DIR`` — where per-dataset accountant ledgers are
   persisted (unset = in-memory only; spends do not survive restarts).
+* ``REPRO_SERVE_MAX_SAMPLES`` — per-request cap on synthetic graphs a
+  single sample request may ask for; a request above it is answered
+  ``400`` with a structured message naming the limit.
 
 The privacy defaults a request omits (``REPRO_EPSILON`` /
 ``REPRO_DELTA``) and the execution knobs (``REPRO_N_JOBS``,
@@ -46,12 +49,14 @@ __all__ = [
     "SERVE_BUDGET_EPSILON_ENV",
     "SERVE_BUDGET_DELTA_ENV",
     "SERVE_LEDGER_DIR_ENV",
+    "SERVE_MAX_SAMPLES_ENV",
     "resolve_serve_queue",
     "resolve_serve_timeout",
     "resolve_serve_drain",
     "resolve_serve_breaker",
     "resolve_serve_budget_epsilon",
     "resolve_serve_budget_delta",
+    "resolve_serve_max_samples",
 ]
 
 SERVE_QUEUE_ENV = "REPRO_SERVE_QUEUE"
@@ -61,6 +66,7 @@ SERVE_BREAKER_ENV = "REPRO_SERVE_BREAKER"
 SERVE_BUDGET_EPSILON_ENV = "REPRO_SERVE_BUDGET_EPSILON"
 SERVE_BUDGET_DELTA_ENV = "REPRO_SERVE_BUDGET_DELTA"
 SERVE_LEDGER_DIR_ENV = "REPRO_SERVE_LEDGER_DIR"
+SERVE_MAX_SAMPLES_ENV = "REPRO_SERVE_MAX_SAMPLES"
 
 DEFAULT_QUEUE = 8
 DEFAULT_TIMEOUT = 30.0
@@ -69,9 +75,12 @@ DEFAULT_BREAKER = 3
 DEFAULT_BUDGET_EPSILON = 1.0
 DEFAULT_BUDGET_DELTA = 0.1
 
-# Per-request caps: purely protective (a request asking for thousands of
-# synthetic graphs would hold its admission slot for minutes).
-MAX_SAMPLES_PER_REQUEST = 64
+# Per-request cap on synthetic graphs: purely protective (a request
+# asking for thousands would hold its admission slot for minutes).
+# Tunable via REPRO_SERVE_MAX_SAMPLES; kept under its historical name
+# for callers that import the constant.
+DEFAULT_MAX_SAMPLES = 64
+MAX_SAMPLES_PER_REQUEST = DEFAULT_MAX_SAMPLES
 
 
 def _env_int(name: str, fallback: int, *, minimum: int) -> int:
@@ -161,6 +170,15 @@ def resolve_serve_budget_delta(delta: float | None = None) -> float:
     return check_nonnegative(float(delta), "budget delta")
 
 
+def resolve_serve_max_samples(max_samples: int | None = None) -> int:
+    """Per-request synthetic-graph cap: argument, then
+    ``REPRO_SERVE_MAX_SAMPLES``, then {default}.  At least 1 — a cap of
+    zero would reject every sample request."""
+    if max_samples is None:
+        return _env_int(SERVE_MAX_SAMPLES_ENV, DEFAULT_MAX_SAMPLES, minimum=1)
+    return check_integer(max_samples, "max samples per request", minimum=1)
+
+
 resolve_serve_queue.__doc__ = resolve_serve_queue.__doc__.format(default=DEFAULT_QUEUE)
 resolve_serve_timeout.__doc__ = resolve_serve_timeout.__doc__.format(
     default=DEFAULT_TIMEOUT
@@ -174,6 +192,9 @@ resolve_serve_budget_epsilon.__doc__ = resolve_serve_budget_epsilon.__doc__.form
 )
 resolve_serve_budget_delta.__doc__ = resolve_serve_budget_delta.__doc__.format(
     default=DEFAULT_BUDGET_DELTA
+)
+resolve_serve_max_samples.__doc__ = resolve_serve_max_samples.__doc__.format(
+    default=DEFAULT_MAX_SAMPLES
 )
 
 
@@ -195,7 +216,7 @@ class ServeConfig:
     pool_restarts: int = 2
     cache_dir: str | None = None
     ledger_dir: str | None = None
-    max_samples: int = MAX_SAMPLES_PER_REQUEST
+    max_samples: int = DEFAULT_MAX_SAMPLES
     faults: ServeFaultPlan = field(default_factory=ServeFaultPlan)
 
     @classmethod
@@ -214,6 +235,7 @@ class ServeConfig:
         pool_restarts: int | None = None,
         cache_dir: str | None = None,
         ledger_dir: str | None = None,
+        max_samples: int | None = None,
         faults: "str | ServeFaultPlan | None" = None,
     ) -> "ServeConfig":
         """Build a config with the standard knob-resolution order.
@@ -246,5 +268,6 @@ class ServeConfig:
                 if ledger_dir is not None
                 else os.environ.get(SERVE_LEDGER_DIR_ENV) or None
             ),
+            max_samples=resolve_serve_max_samples(max_samples),
             faults=resolve_serve_fault_plan(faults),
         )

@@ -186,19 +186,27 @@ def load_run(path: str | os.PathLike) -> RunRecord:
 def list_runs(runs_dir: str | os.PathLike | None = None) -> list[Path]:
     """Run-directory paths under ``runs_dir``, oldest first.
 
-    The timestamp-first naming makes lexicographic order chronological;
-    hidden entries (staging leftovers) and directories without a
-    ``run.json`` are skipped.
+    Ordered by the write time of each run's ``run.json`` (its
+    nanosecond mtime — the file is the last thing written before the
+    staging rename, so it marks when the run was persisted), with the
+    timestamp-first name as the tie-break: the name alone only resolves
+    to the second, and two runs persisted within the same second would
+    otherwise order by config hash.  Hidden entries (staging leftovers)
+    and directories without a ``run.json`` are skipped.
     """
     base = resolve_runs_dir(runs_dir)
     if not base.is_dir():
         return []
-    return sorted(
+    candidates = (
         path
         for path in base.iterdir()
         if path.is_dir()
         and not path.name.startswith(".")
         and (path / RUN_FILE).is_file()
+    )
+    return sorted(
+        candidates,
+        key=lambda path: ((path / RUN_FILE).stat().st_mtime_ns, path.name),
     )
 
 

@@ -10,18 +10,21 @@ from repro.serve.config import (
     DEFAULT_BUDGET_DELTA,
     DEFAULT_BUDGET_EPSILON,
     DEFAULT_DRAIN,
+    DEFAULT_MAX_SAMPLES,
     DEFAULT_QUEUE,
     DEFAULT_TIMEOUT,
     SERVE_BREAKER_ENV,
     SERVE_BUDGET_EPSILON_ENV,
     SERVE_DRAIN_ENV,
     SERVE_LEDGER_DIR_ENV,
+    SERVE_MAX_SAMPLES_ENV,
     SERVE_QUEUE_ENV,
     SERVE_TIMEOUT_ENV,
     ServeConfig,
     resolve_serve_breaker,
     resolve_serve_budget_epsilon,
     resolve_serve_drain,
+    resolve_serve_max_samples,
     resolve_serve_queue,
     resolve_serve_timeout,
 )
@@ -30,13 +33,14 @@ from repro.serve.config import (
 class TestKnobResolution:
     def test_defaults(self, monkeypatch):
         for name in (SERVE_QUEUE_ENV, SERVE_TIMEOUT_ENV, SERVE_DRAIN_ENV,
-                     SERVE_BREAKER_ENV):
+                     SERVE_BREAKER_ENV, SERVE_MAX_SAMPLES_ENV):
             monkeypatch.delenv(name, raising=False)
         assert resolve_serve_queue() == DEFAULT_QUEUE
         assert resolve_serve_timeout() == DEFAULT_TIMEOUT
         assert resolve_serve_drain() == DEFAULT_DRAIN
         assert resolve_serve_breaker() == DEFAULT_BREAKER
         assert resolve_serve_budget_epsilon() == DEFAULT_BUDGET_EPSILON
+        assert resolve_serve_max_samples() == DEFAULT_MAX_SAMPLES
 
     def test_environment_knobs(self, monkeypatch):
         monkeypatch.setenv(SERVE_QUEUE_ENV, "32")
@@ -73,6 +77,19 @@ class TestKnobResolution:
             resolve_serve_drain(-1.0)
         with pytest.raises(ValidationError):
             resolve_serve_breaker(0)
+        with pytest.raises(ValidationError):
+            resolve_serve_max_samples(0)
+
+    def test_max_samples_environment_knob(self, monkeypatch):
+        monkeypatch.setenv(SERVE_MAX_SAMPLES_ENV, "200")
+        assert resolve_serve_max_samples() == 200
+        assert resolve_serve_max_samples(16) == 16
+        monkeypatch.setenv(SERVE_MAX_SAMPLES_ENV, "lots")
+        with pytest.raises(ValidationError, match=SERVE_MAX_SAMPLES_ENV):
+            resolve_serve_max_samples()
+        monkeypatch.setenv(SERVE_MAX_SAMPLES_ENV, "0")
+        with pytest.raises(ValidationError):
+            resolve_serve_max_samples()
 
 
 class TestServeConfig:
@@ -109,6 +126,15 @@ class TestServeConfig:
         assert ServeConfig.resolve(port=0, n_jobs=1).budget_delta == (
             DEFAULT_BUDGET_DELTA
         )
+
+    def test_max_samples_resolution(self, monkeypatch):
+        monkeypatch.delenv(SERVE_MAX_SAMPLES_ENV, raising=False)
+        assert ServeConfig.resolve(port=0, n_jobs=1).max_samples == (
+            DEFAULT_MAX_SAMPLES
+        )
+        monkeypatch.setenv(SERVE_MAX_SAMPLES_ENV, "3")
+        assert ServeConfig.resolve(port=0, n_jobs=1).max_samples == 3
+        assert ServeConfig.resolve(port=0, n_jobs=1, max_samples=9).max_samples == 9
 
     def test_frozen(self):
         config = ServeConfig.resolve(port=0, n_jobs=1)

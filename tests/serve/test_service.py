@@ -150,7 +150,23 @@ class TestSampling:
             "POST", "/sample", fit_request(count=10_000)
         )
         assert response.status == 400
-        assert "cap" in response.body["error"]["message"]
+        message = response.body["error"]["message"]
+        assert "cap" in message
+        # The structured 400 names the knob that raises the limit.
+        assert "REPRO_SERVE_MAX_SAMPLES" in message
+
+    def test_count_cap_is_a_knob(self, monkeypatch):
+        from repro.serve.config import SERVE_MAX_SAMPLES_ENV
+
+        service = SynthesisService(make_config(max_samples=2))
+        assert service.handle("POST", "/sample", fit_request(count=3)).status == 400
+        assert service.handle("POST", "/sample", fit_request(count=2)).status == 200
+
+        monkeypatch.setenv(SERVE_MAX_SAMPLES_ENV, "1")
+        service = SynthesisService(make_config())
+        response = service.handle("POST", "/sample", fit_request(count=2))
+        assert response.status == 400
+        assert "cap of 1" in response.body["error"]["message"]
 
     def test_release_requires_a_private_method(self):
         service = SynthesisService(make_config())

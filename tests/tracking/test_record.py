@@ -200,6 +200,17 @@ class TestAtomicity:
             [first.name, second.name]
         )
 
+    def test_same_second_runs_list_in_write_order(self, tmp_path):
+        # Two runs persisted within the same wall-clock second share the
+        # name's timestamp prefix, so lexicographic order would fall
+        # through to the label/config-hash part and invert chronology
+        # ("zz" written first, "aa" second).  list_runs must order by
+        # persist time, not by name.
+        first = write_run(build_record(label="zz"), tmp_path)
+        second = write_run(build_record(label="aa"), tmp_path)
+        assert sorted([first.name, second.name]) != [first.name, second.name]
+        assert list_runs(tmp_path) == [first, second]
+
     def test_cold_and_resumed_share_the_short_hash(self, tmp_path):
         cache = tmp_path / "cache"
         cold = build_run_record(
